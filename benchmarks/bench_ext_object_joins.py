@@ -1,0 +1,90 @@
+"""Extension benchmark: adaptive replication for objects with extent.
+
+The paper's Sect. 8 future work, realized: distance and intersection
+joins over boxes/polygons/polylines, under every grid method.  The claim
+to verify is that the paper's headline result carries over -- adaptive
+replication ships substantially fewer object replicas than universal
+replication at identical results -- and that the intersection join
+(PBSM's original workload) works across all methods.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.report import format_table, write_report
+from repro.data.object_generators import random_boxes, random_polylines
+from repro.geometry.point import Side
+from repro.joins.object_join import (
+    ObjectSet,
+    object_distance_join,
+    object_intersection_join,
+)
+
+EPS = 0.008
+METHODS = ("lpib", "diff", "uni_r", "uni_s", "eps_grid")
+
+
+@pytest.fixture(scope="module")
+def object_sets():
+    n = int(os.environ.get("REPRO_BENCH_N", "20000")) // 4
+    r = ObjectSet(random_boxes(n, Side.R, seed=71), "areasR")
+    s = ObjectSet(random_polylines(n, Side.S, seed=72), "linesS")
+    return r, s
+
+
+def test_object_distance_join_methods(benchmark, object_sets):
+    r, s = object_sets
+    rows = []
+    metrics = {}
+    reference = None
+    for method in METHODS:
+        res = object_distance_join(r, s, EPS, method=method)
+        if reference is None:
+            reference = res.pairs_set()
+        assert res.pairs_set() == reference, method
+        metrics[method] = res.metrics
+        rows.append(
+            [
+                method,
+                res.metrics.replicated_total,
+                round(res.metrics.remote_bytes / 1e6, 2),
+                round(res.metrics.exec_time_model, 3),
+                res.metrics.results,
+            ]
+        )
+    text = format_table(
+        "Extension -- object distance join (boxes x polylines)",
+        ["method", "replicated", "remote MB", "time (s)", "results"],
+        rows,
+    )
+    write_report("ext_object_distance_join", text)
+
+    best_uni = min(
+        metrics["uni_r"].replicated_total, metrics["uni_s"].replicated_total
+    )
+    assert metrics["lpib"].replicated_total < 0.7 * best_uni
+    assert metrics["diff"].replicated_total < 0.7 * best_uni
+
+    benchmark.pedantic(
+        lambda: object_distance_join(r, s, EPS, method="lpib"),
+        rounds=2, iterations=1,
+    )
+
+
+def test_object_intersection_join(benchmark, object_sets):
+    r, s = object_sets
+    reference = None
+    for method in ("lpib", "uni_r"):
+        res = object_intersection_join(r, s, method=method)
+        if reference is None:
+            reference = res.pairs_set()
+        assert res.pairs_set() == reference, method
+    # intersecting pairs are a subset of the eps-distance pairs
+    dist_pairs = object_distance_join(r, s, EPS, method="lpib").pairs_set()
+    assert reference <= dist_pairs
+
+    benchmark.pedantic(
+        lambda: object_intersection_join(r, s, method="lpib"),
+        rounds=2, iterations=1,
+    )

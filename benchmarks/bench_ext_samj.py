@@ -1,0 +1,37 @@
+"""Extension benchmark: SAMJ (R-tree join) vs MASJ (grid methods).
+
+The paper's Sect. 2 taxonomy in numbers: the single-assigned multi-join
+R-tree baseline replicates nothing but ships each subtree to every task
+it participates in, while the multi-assigned single-join grid family
+replicates points but joins each partition exactly once.  Adaptive
+replication must beat both on shipped volume.
+"""
+
+from repro.bench.experiments import ext_samj
+from repro.bench.harness import DEFAULT_EPS
+from repro.bench.report import write_report
+from repro.baselines.rtree_join import SamjConfig, rtree_samj_join
+
+
+def test_samj_vs_masj(benchmark, ctx):
+    text, data = ext_samj(ctx)
+    write_report("ext_samj_vs_masj", text)
+
+    samj, lpib, uni = data["samj"], data["lpib"], data["uni_r"]
+    # the taxonomy's defining properties
+    assert samj.replicated_total == 0
+    assert samj.shuffle_records > samj.input_r + samj.input_s
+    assert lpib.replicated_total > 0
+    # adaptive replication ships the least data of the three
+    assert lpib.shuffle_records < samj.shuffle_records
+    assert lpib.shuffle_records < uni.shuffle_records
+    # identical result counts
+    assert samj.results == lpib.results == uni.results
+
+    r, s = ctx.cache.combo(("S1", "S2"))
+    benchmark.pedantic(
+        lambda: rtree_samj_join(
+            r, s, SamjConfig(eps=DEFAULT_EPS, num_workers=ctx.scale.num_workers)
+        ),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Fig. 11 -- effect of the distance threshold on shuffle remote reads.
+
+Paper's shape: LPiB/DIFF move much less data over the network than
+UNI(R)/UNI(S) and eps-grid; the Sedona-like engine has the lowest shuffle
+volume (few, large partitions).
+"""
+
+import pytest
+
+from repro.bench.experiments import fig11_shuffle_vs_eps
+from repro.bench.figures import save_figure
+from repro.bench.harness import DEFAULT_EPS, run_method
+from repro.bench.report import write_report
+
+
+@pytest.mark.parametrize("combo", [("S1", "S2"), ("R1", "S1")])
+def test_fig11_shuffle_vs_eps(benchmark, ctx, combo):
+    text, (xs, series) = fig11_shuffle_vs_eps(ctx, combo)
+    name = f"fig11_shuffle_vs_eps_{combo[0]}_{combo[1]}"
+    write_report(name, text)
+    save_figure(name, f"Fig. 11 ({combo[0]} x {combo[1]})", "eps",
+                "shuffle remote reads (MB)", xs, series)
+
+    for i in range(len(xs)):
+        best_uni = min(series["uni_r"][i], series["uni_s"][i])
+        for adaptive in ("lpib", "diff"):
+            assert series[adaptive][i] < best_uni, (xs[i], adaptive)
+        # eps-grid has the highest shuffle volume of the grid methods
+        assert series["eps_grid"][i] >= best_uni, xs[i]
+        # Sedona's shuffle stays clearly below the universal baselines,
+        # in the adaptive methods' range
+        assert series["sedona"][i] < best_uni, xs[i]
+        assert series["sedona"][i] <= 1.5 * min(
+            series["lpib"][i], series["diff"][i]
+        ), xs[i]
+
+    r, s = ctx.cache.combo(combo)
+    benchmark.pedantic(
+        lambda: run_method(r, s, DEFAULT_EPS, "uni_r", ctx.scale),
+        rounds=3, iterations=1,
+    )

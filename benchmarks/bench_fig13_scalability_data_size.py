@@ -1,0 +1,100 @@
+"""Fig. 13 -- scalability with the data size (x1..x8).
+
+Paper's shape: the adaptive methods' advantage is sustained (and the
+absolute gap grows) as the data scales; replication stays an order of
+magnitude below the universal baselines; construction time grows far
+slower than join time (Fig. 13c's stacked bars); eps-grid degrades worst
+(it OOMs at x4 in the paper).
+"""
+
+from repro.bench.experiments import fig13_scalability
+from repro.bench.figures import save_figure
+from repro.bench.harness import DEFAULT_EPS, run_grid_method
+from repro.bench.report import write_report
+
+
+def test_fig13_scalability(benchmark, ctx):
+    text, (factors, repl, shuffle, time, oom_factors) = fig13_scalability(ctx)
+    write_report("fig13_scalability_data_size", text)
+    save_figure("fig13a_replication", "Fig. 13a", "data size factor",
+                "replicated objects (log)", factors, repl, log_y=True)
+    save_figure("fig13b_shuffle", "Fig. 13b", "data size factor",
+                "shuffle remote reads (MB)", factors, shuffle)
+    plottable_time = {
+        m: [v if v != "OOM" else None for v in series]
+        for m, series in time.items()
+    }
+    save_figure("fig13c_time", "Fig. 13c", "data size factor",
+                "modelled execution time (s)", factors, plottable_time)
+
+    # the stacked construction/join bars of Fig. 13c
+    from repro.bench.figures import render_stacked_bar_chart
+    from repro.bench.report import RESULTS_DIR
+    import os
+
+    sweep_all = ctx.size_sweep()
+    stacks = {
+        m: {
+            "construction": [
+                sweep_all[(f, m)].construction_time_model for f in factors
+            ],
+            "join": [sweep_all[(f, m)].join_time_model for f in factors],
+        }
+        for m in ("lpib", "diff")
+    }
+    svg = render_stacked_bar_chart(
+        "Fig. 13c (stacked) -- construction vs join time",
+        "modelled time (s)",
+        [f"x{f}" for f in factors],
+        stacks,
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "fig13c_stacked.svg"), "w") as f:
+        f.write(svg)
+
+    last = len(factors) - 1
+    for i in range(len(factors)):
+        best_uni = min(repl["uni_r"][i], repl["uni_s"][i])
+        assert repl["lpib"][i] < 0.5 * best_uni
+        assert repl["eps_grid"][i] > best_uni
+
+    # with executors sized just above the other methods' needs, eps-grid
+    # runs out of memory at the larger sizes -- the paper's red 'x'
+    if not ctx.scale.quick:
+        assert oom_factors, "expected eps-grid to exceed the emulated heap"
+        assert min(oom_factors) >= 2
+
+    # adaptive wins on time at every size; the gap grows with the data
+    def baseline_times(i):
+        out = [time["uni_r"][i], time["uni_s"][i]]
+        if time["eps_grid"][i] != "OOM":
+            out.append(time["eps_grid"][i])
+        return out
+
+    gaps = []
+    calibrated = ctx.scale.base_n <= 25_000
+    for i in range(len(factors)):
+        best_adaptive = min(time["lpib"][i], time["diff"][i])
+        best_baseline = min(baseline_times(i))
+        if calibrated:
+            assert best_adaptive < best_baseline, factors[i]
+        else:
+            assert best_adaptive < 1.15 * best_baseline, factors[i]
+        gaps.append(best_baseline - best_adaptive)
+    if calibrated:
+        assert gaps[last] > gaps[0]
+
+    # construction is the minor part of the cost at the largest size
+    # (needs the full x8 sweep: at quick scale joins are tiny)
+    if not ctx.scale.quick:
+        sweep = ctx.size_sweep()
+        big = sweep[(factors[last], "lpib")]
+        assert big.construction_time_model < big.join_time_model
+
+    r, s = ctx.cache.combo(("S1", "S2"), size_factor=factors[1])
+    benchmark.pedantic(
+        lambda: run_grid_method(
+            r, s, DEFAULT_EPS, "lpib", ctx.scale, num_partitions=192
+        ),
+        rounds=2, iterations=1,
+    )

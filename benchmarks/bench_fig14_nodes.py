@@ -1,0 +1,40 @@
+"""Fig. 14 -- scalability with the number of nodes (4..12).
+
+Paper's shape: all methods speed up with more executors, with diminishing
+returns (the 4 -> 6 step is the largest relative drop); shuffle volumes
+stay roughly level (slight increase with more nodes as locality drops).
+"""
+
+from repro.bench.experiments import fig14_nodes
+from repro.bench.figures import save_figure
+from repro.bench.harness import DEFAULT_EPS, run_grid_method
+from repro.bench.report import write_report
+
+
+def test_fig14_nodes(benchmark, ctx):
+    text, (workers, time, shuffle) = fig14_nodes(ctx)
+    write_report("fig14_nodes", text)
+    save_figure("fig14b_time", "Fig. 14b", "nodes",
+                "modelled execution time (s)", workers, time)
+
+    for method, times in time.items():
+        # more nodes, less (or equal) modelled time end to end
+        assert times[-1] <= times[0], method
+    for method, reads in shuffle.items():
+        # remote reads grow slightly with the node count
+        assert reads[-1] >= reads[0] * 0.95, method
+
+    if len(workers) >= 3:
+        # diminishing returns: the first upgrade helps the most
+        for method, times in time.items():
+            first_drop = times[0] - times[1]
+            last_drop = times[-2] - times[-1]
+            assert first_drop >= last_drop - 1e-9, method
+
+    r, s = ctx.cache.combo(("S1", "S2"))
+    benchmark.pedantic(
+        lambda: run_grid_method(
+            r, s, DEFAULT_EPS, "lpib", ctx.scale, num_workers=4, num_partitions=32
+        ),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,36 @@
+"""Fig. 15 -- effect of the grid resolution (2 eps .. 5 eps cells).
+
+Paper's shape: coarser cells increase execution time for both LPiB and
+DIFF (larger per-cell join workloads outweigh reduced replication), which
+justifies the 2 eps default.
+"""
+
+from repro.bench.experiments import fig15_grid_resolution
+from repro.bench.figures import save_figure
+from repro.bench.harness import DEFAULT_EPS, run_grid_method
+from repro.bench.report import write_report
+
+
+def test_fig15_grid_resolution(benchmark, ctx):
+    text, (factors, time) = fig15_grid_resolution(ctx)
+    write_report("fig15_grid_resolution", text)
+    save_figure("fig15_resolution", "Fig. 15", "grid resolution (k * eps)",
+                "modelled execution time (s)", factors, time)
+
+    for method, times in time.items():
+        if ctx.scale.quick:
+            # tiny smoke workloads only check that coarse grids don't win
+            assert times[-1] >= 0.95 * times[0], method
+            continue
+        # 2 eps is the best resolution
+        assert times[0] == min(times), method
+        # and the coarsest grid is measurably worse
+        assert times[-1] > 1.05 * times[0], method
+
+    r, s = ctx.cache.combo(("S1", "S2"))
+    benchmark.pedantic(
+        lambda: run_grid_method(
+            r, s, DEFAULT_EPS, "lpib", ctx.scale, resolution_factor=4.0
+        ),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,61 @@
+"""Figs. 16, 17, 18 -- effect of the tuple size (factors f0..f4).
+
+Paper's shape: growing payloads hurt the universal-replication baselines
+sharply (every replicated byte is shuffled) while LPiB/DIFF stay nearly
+level; eps-grid has the highest shuffle volume throughout; the adaptive
+advantage *widens* with the tuple size on every dataset combination.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig16_18_tuple_size
+from repro.bench.harness import DEFAULT_EPS, run_method
+from repro.bench.report import write_report
+
+COMBOS = [("S1", "S2"), ("R1", "S1"), ("R2", "R1")]
+FIG_BY_COMBO = {("S1", "S2"): 16, ("R1", "S1"): 17, ("R2", "R1"): 18}
+
+
+@pytest.mark.parametrize("combo", COMBOS, ids=lambda c: f"{c[0]}x{c[1]}")
+def test_tuple_size(benchmark, ctx, combo):
+    from repro.bench.figures import save_figure
+    from repro.data.datasets import TUPLE_SIZE_FACTORS
+
+    text, (labels, shuffle, time) = fig16_18_tuple_size(ctx, combo)
+    fig_no = FIG_BY_COMBO[combo]
+    name = f"fig{fig_no}_tuple_size_{combo[0]}_{combo[1]}"
+    write_report(name, text)
+    payloads = [TUPLE_SIZE_FACTORS[f] for f in labels]
+    save_figure(f"{name}_time", f"Fig. {fig_no}b ({combo[0]} x {combo[1]})",
+                "payload bytes", "modelled execution time (s)", payloads, time)
+
+    first, last = 0, len(labels) - 1
+    for i in (first, last):
+        best_uni = min(shuffle["uni_r"][i], shuffle["uni_s"][i])
+        assert shuffle["lpib"][i] < best_uni
+        assert shuffle["eps_grid"][i] >= best_uni
+
+    # the adaptive time advantage widens as payloads grow (at full scale;
+    # smoke workloads are too small for the gap trend to be stable)
+    def gap(i):
+        best_adaptive = min(time["lpib"][i], time["diff"][i])
+        best_baseline = min(time["uni_r"][i], time["uni_s"][i], time["eps_grid"][i])
+        return best_baseline - best_adaptive
+
+    if not ctx.scale.quick:
+        assert gap(last) > gap(first), combo
+    else:
+        # smoke scale: times round to milliseconds, so only require that
+        # the baselines never beat the adaptive methods at the fat end
+        assert gap(last) >= 0, combo
+
+    # adaptive times stay nearly level while baselines inflate
+    lpib_growth = time["lpib"][last] / time["lpib"][first]
+    uni_growth = time["uni_s"][last] / time["uni_s"][first]
+    assert lpib_growth < uni_growth, combo
+
+    r, s = ctx.cache.combo(combo, payload_bytes=256)
+    benchmark.pedantic(
+        lambda: run_method(r, s, DEFAULT_EPS, "uni_s", ctx.scale),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""Table 4 -- join selectivity and result-set cardinalities.
+
+Paper's shape: selectivity grows roughly quadratically with eps (the
+matching disc area), and stays *constant* across the data-size sweep
+(both inputs scale together, so matches grow with the cross-product).
+"""
+
+from repro.bench.experiments import table4_selectivity
+from repro.bench.harness import DEFAULT_EPS, run_method
+from repro.bench.report import write_report
+
+
+def test_table4_selectivity(benchmark, ctx):
+    text, data = table4_selectivity(ctx)
+    write_report("table4_selectivity", text)
+
+    eps_values = ctx.eps_values()
+    for combo in (("S1", "S2"), ("R1", "S1")):
+        sel = [data[(combo, eps)] for eps in eps_values]
+        assert all(b > a for a, b in zip(sel, sel[1:])), combo
+        # roughly quadratic in eps: compare against the disc-area ratio
+        area_ratio = (eps_values[-1] / eps_values[0]) ** 2
+        assert 0.4 * area_ratio < sel[-1] / sel[0] < 2.5 * area_ratio, combo
+
+    sizes = ctx.size_factors()
+    sel_by_size = [data[("size", f)] for f in sizes]
+    for value in sel_by_size[1:]:
+        assert abs(value - sel_by_size[0]) / sel_by_size[0] < 0.15
+
+    r, s = ctx.cache.combo(("S1", "S2"))
+    benchmark.pedantic(
+        lambda: run_method(r, s, DEFAULT_EPS, "lpib", ctx.scale),
+        rounds=3, iterations=1,
+    )

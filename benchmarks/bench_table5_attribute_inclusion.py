@@ -1,0 +1,22 @@
+"""Table 5 -- extra attributes: carried through the join vs fetched after.
+
+Paper's numbers: carrying attributes through the join is ~3x faster than
+a post-processing step of two id-joins (255/246 s vs 727/772 s for
+LPiB/DIFF at factor f1).  The shape to reproduce: post-processing costs a
+multiple of the on-join strategy for both adaptive methods.
+"""
+
+from repro.bench.experiments import table5_attribute_inclusion
+from repro.bench.report import write_report
+
+
+def test_table5_attribute_inclusion(benchmark, ctx):
+    text, data = table5_attribute_inclusion(ctx)
+    write_report("table5_attribute_inclusion", text)
+
+    for method, (on_join, post) in data.items():
+        assert post > 1.5 * on_join, method
+
+    benchmark.pedantic(
+        lambda: table5_attribute_inclusion(ctx), rounds=1, iterations=1
+    )

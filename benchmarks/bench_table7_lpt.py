@@ -1,0 +1,39 @@
+"""Table 7 -- LPT vs hash-based assignment of cells to workers.
+
+Paper's numbers: LPT is ~5% faster than Spark's hash partitioning for
+both adaptive methods on both workloads.  The shape to reproduce: LPT
+never loses, and it reduces the maximum per-worker join load.
+"""
+
+from repro.bench.experiments import table7_lpt
+from repro.bench.harness import DEFAULT_EPS, run_grid_method
+from repro.bench.report import write_report
+
+
+def test_table7_lpt(benchmark, ctx):
+    text, data = table7_lpt(ctx)
+    write_report("table7_lpt", text)
+
+    # LPT estimates costs from the 3% sample, so allow small noise; it
+    # must never lose badly and must reduce the peak worker load overall
+    for (label, method), (hash_m, lpt_m) in data.items():
+        assert lpt_m.exec_time_model <= hash_m.exec_time_model * 1.1, (label, method)
+
+    total_hash_peak = sum(max(h.worker_join_costs) for h, _l in data.values())
+    total_lpt_peak = sum(max(l.worker_join_costs) for _h, l in data.values())
+    assert total_lpt_peak <= total_hash_peak * 1.05
+
+    if not ctx.scale.quick:
+        # LPT helps at least somewhere (skew-dependent, per Sect. 7.2.8)
+        assert any(
+            max(lpt_m.worker_join_costs) < max(hash_m.worker_join_costs) * 0.995
+            for (hash_m, lpt_m) in data.values()
+        )
+
+    r, s = ctx.cache.combo(("R2", "R1"))
+    benchmark.pedantic(
+        lambda: run_grid_method(
+            r, s, DEFAULT_EPS, "diff", ctx.scale, cell_assignment="hash"
+        ),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,17 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+Scale is controlled by ``REPRO_BENCH_N`` (stand-in for the paper's 100M
+base cardinality; default 20000) and ``REPRO_BENCH_QUICK=1`` (shrinks the
+sweeps).  Sweeps shared between figures are memoized on the session-wide
+experiment context, so e.g. Figs. 10-12 run their epsilon sweep once.
+"""
+
+import pytest
+
+from repro.bench.experiments import ExperimentContext
+from repro.bench.harness import BenchScale
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(BenchScale.from_env())

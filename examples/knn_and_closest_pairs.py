@@ -1,0 +1,41 @@
+"""Distance-based queries on the adaptive substrate: kNN join, closest
+pairs, self-join.
+
+The paper's related work (Sect. 2) surveys these query types in
+SpatialHadoop/Sedona-style systems; here they run on top of the adaptive
+distance join, inheriting its replication and partitioning.  The scenario:
+dispatch centres (R) and incident reports (S).
+
+Run:  python examples/knn_and_closest_pairs.py
+"""
+
+from repro import gaussian_clusters, real_like
+from repro.joins.queries import closest_pairs, knn_join, self_join
+
+
+def main() -> None:
+    centres = real_like(3_000, seed=5, name="dispatch-centres")
+    incidents = gaussian_clusters(12_000, seed=6, name="incidents")
+    print(f"{len(centres):,} centres, {len(incidents):,} incidents\n")
+
+    # For each centre: the 5 nearest incidents.
+    res = knn_join(centres, incidents, k=5)
+    print(f"kNN join (k=5): {len(res):,} pairs in {res.rounds} radius "
+          f"round(s); modelled time {res.exec_time_model:.3f}s")
+    worst = res.distances.max()
+    print(f"  farthest assigned incident: {worst:.4f}\n")
+
+    # The 10 most critical assignments overall.
+    top = closest_pairs(centres, incidents, k=10)
+    print("10 closest centre-incident pairs:")
+    for rid, sid, d in zip(top.r_ids, top.s_ids, top.distances):
+        print(f"  centre {rid:>5} -- incident {sid:>6}  d={d:.5f}")
+
+    # Which incidents cluster together? (self-join within 0.005)
+    clusters = self_join(incidents, eps=0.005)
+    print(f"\nincident pairs within 0.005 of each other: {len(clusters):,} "
+          f"(replicated {clusters.replicated_total:,} records)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Agreements beyond the grid: QuadTree partitioning (Sect. 8).
+
+The paper's future work asks to generalize the graph-of-agreements
+abstraction to other partitioning schemes.  This example runs the
+generalized join -- agreements plus ownership-based duplicate avoidance
+-- on both a uniform grid and a data-adaptive QuadTree over a heavily
+skewed workload, and contrasts them with the paper's marking-based grid
+algorithm.
+
+Run:  python examples/quadtree_partitioning.py
+"""
+
+from repro import gaussian_clusters, real_like, spatial_join
+from repro.joins.generalized_join import (
+    GeneralizedJoinConfig,
+    generalized_distance_join,
+)
+
+EPS = 0.012
+
+
+def main() -> None:
+    r = real_like(25_000, seed=11, name="hydro")
+    s = gaussian_clusters(25_000, seed=101, name="sensors")
+    print(f"{len(r):,} x {len(s):,} points, eps = {EPS}\n")
+
+    marking = spatial_join(r, s, eps=EPS, method="lpib")
+    print(f"{'grid + marking (paper)':>26}: "
+          f"repl={marking.metrics.replicated_total:>6,} "
+          f"leaves={marking.metrics.grid_cells:>5,} "
+          f"time={marking.metrics.exec_time_model:.3f}s")
+
+    for partition in ("grid", "quadtree"):
+        cfg = GeneralizedJoinConfig(eps=EPS, partition=partition, method="lpib")
+        res = generalized_distance_join(r, s, cfg)
+        assert res.pairs_set() == marking.pairs_set(), partition
+        m = res.metrics
+        print(f"{partition + ' + ownership':>26}: repl={m.replicated_total:>6,} "
+              f"leaves={m.grid_cells:>5,} time={m.exec_time_model:.3f}s")
+
+    print(
+        "\nall three schemes return the identical result set.\n"
+        "The QuadTree spends its leaves where the data is: empty regions\n"
+        "collapse into single leaves, so the agreement graph is a fraction\n"
+        "of the grid's size.  Ownership reporting removes the need for the\n"
+        "marking machinery but pays a per-result filtering cost -- which is\n"
+        "exactly the overhead the paper's duplicate-free assignment avoids."
+    )
+
+
+if __name__ == "__main__":
+    main()

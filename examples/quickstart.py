@@ -1,0 +1,43 @@
+"""Quickstart: an epsilon-distance spatial join with adaptive replication.
+
+Generates two skewed point sets, joins them with the paper's LPiB method,
+and compares the key metrics against the PBSM baseline -- the one-minute
+tour of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import gaussian_clusters, spatial_join
+
+
+def main() -> None:
+    # Two Gaussian-cluster data sets (the paper's S1/S2 distribution).
+    r = gaussian_clusters(20_000, seed=101, name="S1")
+    s = gaussian_clusters(20_000, seed=202, name="S2")
+    eps = 0.012  # the paper's default distance threshold
+
+    print(f"Joining {len(r):,} x {len(s):,} points, eps = {eps}\n")
+
+    adaptive = spatial_join(r, s, eps=eps, method="lpib")
+    baseline = spatial_join(r, s, eps=eps, method="uni_r")
+
+    assert adaptive.pairs_set() == baseline.pairs_set(), "methods must agree"
+    print(f"result pairs: {len(adaptive):,}\n")
+
+    for result in (adaptive, baseline):
+        print(result.metrics.summary())
+
+    gain = baseline.metrics.replicated_total / max(
+        adaptive.metrics.replicated_total, 1
+    )
+    print(
+        f"\nadaptive replication moved {gain:.1f}x fewer replicated objects "
+        "than universal replication (PBSM), with identical results."
+    )
+
+    # A few of the matched pairs:
+    print("\nsample pairs (r_id, s_id):", sorted(adaptive.pairs_set())[:5])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Objects with extent: joining park polygons with river polylines.
+
+The paper's future work (Sect. 8) asks for polygons and polylines; this
+library supports them through an anchor reduction that inherits the
+adaptive machinery's correctness and duplicate-freeness.  The example
+runs two classic GIS queries over generated "parks" and "rivers":
+
+1. an **intersection join** -- which rivers flow through which parks
+   (PBSM's original workload);
+2. a **proximity join** -- which parks lie within walking distance of a
+   river.
+
+Run:  python examples/region_intersection_join.py
+"""
+
+from repro import (
+    ObjectSet,
+    Side,
+    object_distance_join,
+    object_intersection_join,
+    random_polygons,
+    random_polylines,
+)
+
+WALKING_DISTANCE = 0.008
+
+
+def main() -> None:
+    parks = ObjectSet(
+        random_polygons(5_000, Side.R, mean_size=0.006, seed=3, payload_bytes=64),
+        name="parks",
+    )
+    rivers = ObjectSet(
+        random_polylines(4_000, Side.S, mean_size=0.012, seed=4, payload_bytes=32),
+        name="rivers",
+    )
+    print(f"{len(parks):,} park polygons x {len(rivers):,} river polylines")
+    print(f"max object radii: parks {parks.max_radius:.4f}, "
+          f"rivers {rivers.max_radius:.4f}\n")
+
+    crossing = object_intersection_join(parks, rivers, method="lpib")
+    print(f"rivers crossing parks: {len(crossing):,} pairs")
+    print(f"  {crossing.metrics.summary()}\n")
+
+    nearby = object_distance_join(parks, rivers, WALKING_DISTANCE, method="lpib")
+    print(f"parks within {WALKING_DISTANCE} of a river: {len(nearby):,} pairs")
+    print(f"  {nearby.metrics.summary()}\n")
+
+    assert crossing.pairs_set() <= nearby.pairs_set()
+
+    # adaptive vs universal replication, object edition
+    uni = object_distance_join(parks, rivers, WALKING_DISTANCE, method="uni_s")
+    gain = uni.metrics.replicated_total / max(nearby.metrics.replicated_total, 1)
+    assert uni.pairs_set() == nearby.pairs_set()
+    print(f"adaptive replication ships {gain:.1f}x fewer object replicas "
+          "than universal replication -- same result set.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""The Sect. 2 taxonomy, live: SAMJ vs MASJ vs adaptive replication.
+
+Parallel spatial joins either assign every object once and join each
+partition with several others (*single-assigned multi-join*, the R-tree
+family) or assign objects to several partitions and join each partition
+once (*multi-assigned single-join*, the grid family the paper improves).
+This example runs one representative of each on the same workload and
+prints what each strategy pays for.
+
+Run:  python examples/samj_vs_masj.py
+"""
+
+from repro import gaussian_clusters, spatial_join
+from repro.baselines.rtree_join import SamjConfig, rtree_samj_join
+from repro.joins.generalized_join import (
+    GeneralizedJoinConfig,
+    generalized_distance_join,
+)
+
+EPS = 0.012
+
+
+def main() -> None:
+    r = gaussian_clusters(20_000, seed=101, name="S1")
+    s = gaussian_clusters(20_000, seed=202, name="S2")
+    print(f"{len(r):,} x {len(s):,} points, eps = {EPS}\n")
+
+    runs = []
+    samj = rtree_samj_join(r, s, SamjConfig(eps=EPS))
+    runs.append(("R-tree join (SAMJ)", samj))
+    uni = spatial_join(r, s, eps=EPS, method="uni_r")
+    runs.append(("PBSM UNI(R) (MASJ)", uni))
+    clone = generalized_distance_join(
+        r, s, GeneralizedJoinConfig(eps=EPS, partition="grid", method="clone")
+    )
+    runs.append(("clone join (MASJ, both sides)", clone))
+    adaptive = spatial_join(r, s, eps=EPS, method="lpib")
+    runs.append(("adaptive LPiB (this paper)", adaptive))
+
+    reference = adaptive.pairs_set()
+    print(f"{'algorithm':>30} | {'replicated':>10} | {'shipped rec.':>12} | "
+          f"{'model s':>8}")
+    print("-" * 72)
+    for name, res in runs:
+        assert res.pairs_set() == reference, name
+        m = res.metrics
+        print(f"{name:>30} | {m.replicated_total:>10,} | "
+              f"{m.shuffle_records:>12,} | {m.exec_time_model:>8.3f}")
+
+    print(
+        "\nall four return the identical result set.  SAMJ avoids\n"
+        "replication by shipping whole subtrees to every task they join;\n"
+        "universal MASJ replication ships every border point of one input\n"
+        "everywhere; the clone join replicates both inputs and filters by\n"
+        "reference point; adaptive agreements ship the least of all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the complete reproduction: tests, benchmarks, combined report.
+# Usage: scripts/run_full_evaluation.sh [BASE_N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_N="${1:-20000}"
+
+echo "== test suite =="
+python -m pytest tests/ -q
+
+echo "== benchmarks (REPRO_BENCH_N=$BASE_N) =="
+REPRO_BENCH_N="$BASE_N" python -m pytest benchmarks/ --benchmark-only -q
+
+echo "== combined report =="
+python -m repro.cli report --base-n "$BASE_N" --output reproduction_report.md
+
+echo "artifacts: benchmarks/results/  reproduction_report.md"

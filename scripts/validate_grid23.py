@@ -1,0 +1,76 @@
+"""Exhaustive validation on a 2x3 grid (two interacting quartets).
+
+Enumerates all 2^11 agreement-type assignments over the 11 adjacent cell
+pairs and checks point-level correctness + duplicate-freeness.  Also runs
+random-weight sweeps so Algorithm 1 visits edges in many different orders.
+"""
+
+import itertools
+import random
+import sys
+
+from repro.agreements.graph import AgreementGraph
+from repro.agreements.marking import generate_duplicate_free_graph
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.replication.assign import AdaptiveAssigner
+from repro.verify.oracle import kdtree_pairs, verify_assignment
+
+
+def dense_points(x_hi, y_hi, step=0.4):
+    pts = []
+    pid = 0
+    x = 0.3
+    while x <= x_hi:
+        y = 0.3
+        while y <= y_hi:
+            pts.append((pid, round(x, 6), round(y, 6)))
+            pid += 1
+            y += step
+        x += step
+    return pts
+
+
+def main():
+    eps = 1.0
+    grid = Grid(MBR(0, 0, 7.5, 5), eps)
+    assert (grid.nx, grid.ny) == (3, 2), (grid.nx, grid.ny)
+    pairs = [frozenset(p[:2]) for p in grid.adjacent_pairs()]
+    assert len(pairs) == 11, len(pairs)
+
+    pts = dense_points(7.2, 4.7)
+    r_pts = pts
+    s_pts = [(pid, x + 0.07, y + 0.05) for pid, x, y in pts]
+    expected = kdtree_pairs(r_pts, s_pts, eps)
+    print(f"{len(pts)} pts/side, {len(expected)} true pairs")
+
+    rng = random.Random(7)
+    failures = 0
+    total_repaired = 0
+    for n, combo in enumerate(itertools.product([Side.R, Side.S], repeat=11)):
+        pair_types = dict(zip(pairs, combo))
+        graph = AgreementGraph(grid, pair_types)
+        # Random weights: exercises different Algorithm 1 edge orders.
+        for sub in graph.quartets.values():
+            for e in sub.edges():
+                e.weight = rng.randrange(100)
+        report = generate_duplicate_free_graph(graph)
+        total_repaired += report.repaired_triangles
+        res = verify_assignment(
+            AdaptiveAssigner(grid, graph), r_pts, s_pts, eps, expected=expected
+        )
+        if not res.ok:
+            failures += 1
+            print(f"FAIL {''.join(s.value for s in combo)}: {res.describe()}")
+            if failures >= 10:
+                break
+        if n % 256 == 255:
+            print(f"  ...{n + 1} instances checked")
+    print(f"repaired triangles across all runs: {total_repaired}")
+    print("all 2048 instances OK" if failures == 0 else f"{failures}+ failures")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(1 if main() else 0)

@@ -1,0 +1,66 @@
+"""Exhaustive validation of the adaptive-replication core on small grids.
+
+Development-time arbiter: enumerates every agreement-type assignment on a
+2x2 grid (64 instances) and dense point clouds, checking that the marked
+graph yields a correct, duplicate-free join partitioning.
+"""
+
+import itertools
+import sys
+
+from repro.agreements.graph import AgreementGraph
+from repro.agreements.marking import generate_duplicate_free_graph
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.replication.assign import AdaptiveAssigner
+from repro.verify.oracle import kdtree_pairs, verify_assignment
+
+
+def dense_points(xs_range, ys_range, step):
+    pts = []
+    pid = 0
+    x = xs_range[0]
+    while x <= xs_range[1] + 1e-9:
+        y = ys_range[0]
+        while y <= ys_range[1] + 1e-9:
+            pts.append((pid, round(x, 6), round(y, 6)))
+            pid += 1
+            y += step
+        x += step
+    return pts
+
+
+def main():
+    eps = 1.0
+    grid = Grid(MBR(0, 0, 5, 5), eps)  # 2x2 grid, cell side 2.5
+    assert (grid.nx, grid.ny) == (2, 2), (grid.nx, grid.ny)
+    pairs = [frozenset(p[:2]) for p in grid.adjacent_pairs()]
+    assert len(pairs) == 6
+
+    pts = dense_points((0.3, 4.7), (0.3, 4.7), 0.4)
+    r_pts = pts
+    s_pts = [(pid, x + 0.07, y + 0.05) for pid, x, y in pts]
+    expected = kdtree_pairs(r_pts, s_pts, eps)
+    print(f"{len(pts)} pts/side, {len(expected)} true pairs")
+
+    failures = 0
+    for combo in itertools.product([Side.R, Side.S], repeat=6):
+        pair_types = dict(zip(pairs, combo))
+        graph = AgreementGraph(grid, pair_types)
+        report = generate_duplicate_free_graph(graph)
+        assigner = AdaptiveAssigner(grid, graph)
+        res = verify_assignment(assigner, r_pts, s_pts, eps, expected=expected)
+        if not res.ok:
+            failures += 1
+            combo_str = "".join(s.value for s in combo)
+            print(f"FAIL {combo_str}: {res.describe()}  "
+                  f"(marked={report.marked_edges}, repaired={report.repaired_triangles})")
+            if failures >= int(sys.argv[1] if len(sys.argv) > 1 else 5):
+                break
+    print("all 64 instances OK" if failures == 0 else f"{failures}+ failures")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(1 if main() else 0)

@@ -1,0 +1,73 @@
+"""Parallel spatial join processing with adaptive replication.
+
+A from-scratch reproduction of the EDBT 2025 paper by Koutroumanis,
+Doulkeridis and Vlachou: the graph-of-agreements framework, the adaptive
+replication algorithms, the PBSM and Sedona-like baselines, and a
+simulated Spark cluster for the evaluation.
+
+Quick start::
+
+    from repro import gaussian_clusters, spatial_join
+
+    r = gaussian_clusters(10_000, seed=1)
+    s = gaussian_clusters(10_000, seed=2)
+    result = spatial_join(r, s, eps=0.012, method="lpib")
+    print(len(result), "pairs;", result.metrics.summary())
+"""
+
+from repro.core.cost_model import predict_join, recommend_method
+from repro.data.datasets import TUPLE_SIZE_FACTORS, load_dataset, paper_datasets
+from repro.data.generators import gaussian_clusters, real_like, uniform
+from repro.data.object_generators import (
+    random_boxes,
+    random_polygons,
+    random_polylines,
+)
+from repro.data.pointset import PointSet
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import BoxObject, PolygonObject, PolylineObject
+from repro.geometry.point import Side, SpatialPoint
+from repro.grid.grid import Grid
+from repro.joins.api import ALL_METHODS, spatial_join
+from repro.joins.distance_join import JoinConfig, JoinResult, distance_join
+from repro.joins.object_join import (
+    ObjectSet,
+    object_distance_join,
+    object_intersection_join,
+)
+from repro.joins.queries import closest_pairs, knn_join, self_join
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_METHODS",
+    "BoxObject",
+    "Grid",
+    "JoinConfig",
+    "JoinResult",
+    "MBR",
+    "ObjectSet",
+    "PointSet",
+    "PolygonObject",
+    "PolylineObject",
+    "Side",
+    "SpatialPoint",
+    "TUPLE_SIZE_FACTORS",
+    "closest_pairs",
+    "distance_join",
+    "gaussian_clusters",
+    "knn_join",
+    "load_dataset",
+    "self_join",
+    "object_distance_join",
+    "object_intersection_join",
+    "paper_datasets",
+    "predict_join",
+    "random_boxes",
+    "random_polygons",
+    "random_polylines",
+    "real_like",
+    "recommend_method",
+    "spatial_join",
+    "uniform",
+]

@@ -1,0 +1,21 @@
+"""Competitor algorithms: PBSM variants and the Sedona-like engine.
+
+The PBSM baselines (UNI(R), UNI(S), eps-grid) are grid methods and run
+through the main driver (:mod:`repro.joins.distance_join`); this package
+adds the spatial index substrates and the Sedona-like three-phase join
+(QuadTree partitioning, per-partition R-tree indexing, index probing).
+"""
+
+from repro.baselines.rtree import RTree
+from repro.baselines.rtree_join import SamjConfig, rtree_samj_join
+from repro.baselines.quadtree import QuadTreePartitioner
+from repro.baselines.sedona_like import SedonaConfig, sedona_join
+
+__all__ = [
+    "QuadTreePartitioner",
+    "RTree",
+    "SamjConfig",
+    "SedonaConfig",
+    "rtree_samj_join",
+    "sedona_join",
+]

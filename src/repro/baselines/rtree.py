@@ -1,0 +1,149 @@
+"""A bulk-loaded (STR) R-tree over points.
+
+Sedona builds one R-tree per partition on the larger input and probes it
+with distance-expanded envelopes of the other input.  This is a compact
+Sort-Tile-Recursive implementation: points are tiled into leaves by
+x-then-y sorting, upper levels pack child MBRs the same way.  Envelope
+queries report the matching point indices plus the number of leaf entries
+inspected (the local-join cost driver).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+
+
+@dataclass
+class _Node:
+    mbr: MBR
+    children: list  # list[_Node] for inner nodes
+    entries: np.ndarray | None  # point indices for leaves
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+def _pack_mbr(xs: np.ndarray, ys: np.ndarray) -> MBR:
+    return MBR(float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max()))
+
+
+class RTree:
+    """STR-packed R-tree over a fixed set of points."""
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, leaf_capacity: int = 32):
+        if leaf_capacity < 2:
+            raise ValueError("leaf capacity must be >= 2")
+        self.xs = np.asarray(xs, dtype=np.float64)
+        self.ys = np.asarray(ys, dtype=np.float64)
+        if self.xs.shape != self.ys.shape or self.xs.ndim != 1:
+            raise ValueError("xs and ys must be parallel 1-d arrays")
+        self.leaf_capacity = leaf_capacity
+        self.size = len(self.xs)
+        self.root = self._build() if self.size else None
+
+    # ------------------------------------------------------------------
+    def _build(self) -> _Node:
+        leaves = self._pack_leaves()
+        level = leaves
+        while len(level) > 1:
+            level = self._pack_level(level)
+        return level[0]
+
+    def _pack_leaves(self) -> list[_Node]:
+        idx = np.argsort(self.xs, kind="stable")
+        n = len(idx)
+        cap = self.leaf_capacity
+        n_leaves = math.ceil(n / cap)
+        slab_count = max(1, math.ceil(math.sqrt(n_leaves)))
+        slab_size = math.ceil(n / slab_count)
+        leaves: list[_Node] = []
+        for s in range(0, n, slab_size):
+            slab = idx[s : s + slab_size]
+            slab = slab[np.argsort(self.ys[slab], kind="stable")]
+            for o in range(0, len(slab), cap):
+                entries = slab[o : o + cap]
+                leaves.append(
+                    _Node(
+                        _pack_mbr(self.xs[entries], self.ys[entries]),
+                        [],
+                        entries,
+                    )
+                )
+        return leaves
+
+    def _pack_level(self, nodes: list[_Node]) -> list[_Node]:
+        cap = self.leaf_capacity
+        order = sorted(
+            range(len(nodes)), key=lambda i: (nodes[i].mbr.center[0], nodes[i].mbr.center[1])
+        )
+        n_groups = math.ceil(len(nodes) / cap)
+        slab_count = max(1, math.ceil(math.sqrt(n_groups)))
+        slab_size = math.ceil(len(nodes) / slab_count)
+        parents: list[_Node] = []
+        for s in range(0, len(order), slab_size):
+            slab = order[s : s + slab_size]
+            slab.sort(key=lambda i: nodes[i].mbr.center[1])
+            for o in range(0, len(slab), cap):
+                group = [nodes[i] for i in slab[o : o + cap]]
+                mbr = group[0].mbr
+                for g in group[1:]:
+                    mbr = mbr.union(g.mbr)
+                parents.append(_Node(mbr, group, None))
+        return parents
+
+    # ------------------------------------------------------------------
+    def query_envelope(self, rect: MBR) -> tuple[np.ndarray, int]:
+        """Point indices inside ``rect`` and the leaf entries inspected."""
+        if self.root is None:
+            return np.empty(0, dtype=np.int64), 0
+        hits: list[np.ndarray] = []
+        inspected = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.mbr.intersects(rect):
+                continue
+            if node.is_leaf:
+                e = node.entries
+                inspected += len(e)
+                mask = (
+                    (self.xs[e] >= rect.xmin)
+                    & (self.xs[e] <= rect.xmax)
+                    & (self.ys[e] >= rect.ymin)
+                    & (self.ys[e] <= rect.ymax)
+                )
+                if mask.any():
+                    hits.append(e[mask])
+            else:
+                stack.extend(node.children)
+        if not hits:
+            return np.empty(0, dtype=np.int64), inspected
+        return np.concatenate(hits), inspected
+
+    def query_within(
+        self, x: float, y: float, eps: float
+    ) -> tuple[np.ndarray, int]:
+        """Point indices within distance ``eps`` of ``(x, y)``.
+
+        Filters via the envelope query, then refines by true distance.
+        """
+        cand, inspected = self.query_envelope(MBR(x - eps, y - eps, x + eps, y + eps))
+        if len(cand) == 0:
+            return cand, inspected
+        dx = self.xs[cand] - x
+        dy = self.ys[cand] - y
+        return cand[dx * dx + dy * dy <= eps * eps], inspected
+
+    def height(self) -> int:
+        """Tree height (leaf = 1); 0 for an empty tree."""
+        h, node = 0, self.root
+        while node is not None:
+            h += 1
+            node = node.children[0] if not node.is_leaf else None
+        return h

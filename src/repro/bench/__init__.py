@@ -1,0 +1,28 @@
+"""The benchmark harness: one experiment per paper table/figure.
+
+Each experiment in :mod:`repro.bench.experiments` regenerates the rows or
+series of one artifact from the paper's Sect. 7 at laptop scale.  The
+``benchmarks/`` directory wires them into pytest-benchmark; results are
+also written as text reports under ``benchmarks/results/``.
+"""
+
+from repro.bench.harness import BenchScale, DatasetCache, run_grid_method, run_method
+from repro.bench.report import (
+    format_series,
+    format_table,
+    series_to_csv,
+    write_csv,
+    write_report,
+)
+
+__all__ = [
+    "BenchScale",
+    "DatasetCache",
+    "format_series",
+    "format_table",
+    "run_grid_method",
+    "run_method",
+    "series_to_csv",
+    "write_csv",
+    "write_report",
+]

@@ -1,0 +1,690 @@
+"""One experiment per table/figure of the paper's evaluation (Sect. 7).
+
+Every function returns ``(report_text, data)``: the text mirrors the
+paper's rows/series; the data is used by assertions in the benchmark
+suite (the *shape* checks: who wins, by how much, where crossovers fall).
+Sweeps shared by several figures (the epsilon sweep feeds Figs. 10, 11
+and 12; the size sweep feeds Fig. 13 and Table 4) are computed once per
+context and memoized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.harness import (
+    ADAPTIVE_METHODS,
+    ALL_COMPARED,
+    COMBOS,
+    DEFAULT_EPS,
+    EPS_SWEEP,
+    BenchScale,
+    DatasetCache,
+    run_grid_method,
+    run_method,
+)
+from repro.bench.report import format_series, format_table
+from repro.data.datasets import TUPLE_SIZE_FACTORS
+from repro.engine.metrics import JoinMetrics
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.joins.postprocess import post_process_attributes
+from repro.replication.pbsm import UniversalAssigner
+
+
+@dataclass
+class ExperimentContext:
+    """Scale, datasets and memoized sweep results shared by experiments."""
+
+    scale: BenchScale
+    cache: DatasetCache = None  # type: ignore[assignment]
+    _memo: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.cache is None:
+            self.cache = DatasetCache(self.scale)
+
+    # -- memoized sweeps ------------------------------------------------
+    def eps_sweep(self, combo: tuple[str, str]) -> dict[tuple[float, str], JoinMetrics]:
+        key = ("eps_sweep", combo)
+        if key not in self._memo:
+            r, s = self.cache.combo(combo)
+            eps_values = EPS_SWEEP[:2] if self.scale.quick else EPS_SWEEP
+            self._memo[key] = {
+                (eps, method): run_method(r, s, eps, method, self.scale)
+                for eps in eps_values
+                for method in ALL_COMPARED
+            }
+        return self._memo[key]
+
+    def size_sweep(self) -> dict[tuple[int, str], JoinMetrics]:
+        key = ("size_sweep",)
+        if key not in self._memo:
+            factors = (1, 2, 4) if self.scale.quick else (1, 2, 4, 6, 8)
+            methods = ("lpib", "diff", "uni_r", "uni_s", "eps_grid")
+            out = {}
+            for factor in factors:
+                r, s = self.cache.combo(("S1", "S2"), size_factor=factor)
+                partitions = 96 * max(1, factor)
+                for method in methods:
+                    out[(factor, method)] = run_grid_method(
+                        r, s, DEFAULT_EPS, method, self.scale,
+                        num_partitions=partitions,
+                    )
+            self._memo[key] = out
+        return self._memo[key]
+
+    def eps_values(self) -> tuple[float, ...]:
+        return EPS_SWEEP[:2] if self.scale.quick else EPS_SWEEP
+
+    def size_factors(self) -> tuple[int, ...]:
+        return (1, 2, 4) if self.scale.quick else (1, 2, 4, 6, 8)
+
+
+def _combo_label(combo: tuple[str, str]) -> str:
+    return f"{combo[0]} |><| {combo[1]}"
+
+
+# ---------------------------------------------------------------------------
+# Figure 1b: relative replication overhead of PBSM over adaptive replication
+# ---------------------------------------------------------------------------
+def fig01_replication_overhead(ctx: ExperimentContext):
+    rows = []
+    data = {}
+    for combo in COMBOS:
+        r, s = ctx.cache.combo(combo)
+        lpib = run_method(r, s, DEFAULT_EPS, "lpib", ctx.scale)
+        diff = run_method(r, s, DEFAULT_EPS, "diff", ctx.scale)
+        uni_r = run_method(r, s, DEFAULT_EPS, "uni_r", ctx.scale)
+        uni_s = run_method(r, s, DEFAULT_EPS, "uni_s", ctx.scale)
+        # full-knowledge agreements isolate the effect of sampling noise,
+        # which at laptop scale compresses the paper's 10x-75x band
+        lpib_full = run_method(r, s, DEFAULT_EPS, "lpib", ctx.scale, sample_rate=1.0)
+        best_uni = min(uni_r.replicated_total, uni_s.replicated_total)
+        best_adaptive = min(lpib.replicated_total, diff.replicated_total)
+        ratio = best_uni / max(best_adaptive, 1)
+        ratio_full = best_uni / max(lpib_full.replicated_total, 1)
+        rows.append(
+            [
+                _combo_label(combo),
+                lpib.replicated_total,
+                diff.replicated_total,
+                uni_r.replicated_total,
+                uni_s.replicated_total,
+                round(ratio, 1),
+                round(ratio_full, 1),
+            ]
+        )
+        data[combo] = (ratio, ratio_full)
+    text = format_table(
+        "Fig. 1b -- replicated objects and PBSM-over-adaptive overhead",
+        ["combination", "LPiB", "DIFF", "UNI(R)", "UNI(S)",
+         "overhead x (3% sample)", "overhead x (full stats)"],
+        rows,
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# Figures 10, 11, 12: epsilon sweeps
+# ---------------------------------------------------------------------------
+def _eps_series(ctx, combo, metric_fn):
+    sweep = ctx.eps_sweep(combo)
+    xs = ctx.eps_values()
+    return xs, {
+        method: [metric_fn(sweep[(eps, method)]) for eps in xs]
+        for method in ALL_COMPARED
+    }
+
+
+def fig10_replication_vs_eps(ctx: ExperimentContext, combo=("S1", "S2")):
+    xs, series = _eps_series(ctx, combo, lambda m: m.replicated_total)
+    text = format_series(
+        f"Fig. 10 -- replicated objects vs eps ({_combo_label(combo)})",
+        "eps", xs, series,
+    )
+    return text, (xs, series)
+
+
+def fig11_shuffle_vs_eps(ctx: ExperimentContext, combo=("S1", "S2")):
+    xs, series = _eps_series(ctx, combo, lambda m: round(m.remote_bytes / 1e6, 2))
+    text = format_series(
+        f"Fig. 11 -- shuffle remote reads (MB) vs eps ({_combo_label(combo)})",
+        "eps", xs, series,
+    )
+    return text, (xs, series)
+
+
+def fig12_time_vs_eps(ctx: ExperimentContext, combo=("S1", "S2")):
+    xs, series = _eps_series(ctx, combo, lambda m: round(m.exec_time_model, 3))
+    text = format_series(
+        f"Fig. 12 -- modelled execution time (s) vs eps ({_combo_label(combo)})",
+        "eps", xs, series,
+    )
+    return text, (xs, series)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: scalability with the data size (incl. construction/join split)
+# ---------------------------------------------------------------------------
+def fig13_scalability(ctx: ExperimentContext):
+    sweep = ctx.size_sweep()
+    factors = ctx.size_factors()
+    methods = ("lpib", "diff", "uni_r", "uni_s", "eps_grid")
+    repl = {m: [sweep[(f, m)].replicated_total for f in factors] for m in methods}
+    shuffle = {
+        m: [round(sweep[(f, m)].remote_bytes / 1e6, 2) for f in factors]
+        for m in methods
+    }
+    time = {
+        m: [round(sweep[(f, m)].exec_time_model, 3) for f in factors] for m in methods
+    }
+    # Emulate the paper's eps-grid out-of-memory failure (the red 'x' in
+    # Fig. 13): size the executors just above what every other method
+    # needs across the whole sweep, then check eps-grid's peak heap.
+    heap_limit = 1.05 * max(
+        sweep[(f, m)].extra["peak_worker_heap_bytes"]
+        for f in factors
+        for m in methods
+        if m != "eps_grid"
+    )
+    oom_factors = [
+        f
+        for f in factors
+        if sweep[(f, "eps_grid")].extra["peak_worker_heap_bytes"] > heap_limit
+    ]
+    time["eps_grid"] = [
+        "OOM" if f in oom_factors else t
+        for f, t in zip(factors, time["eps_grid"])
+    ]
+    split = {
+        f"{m} constr": [round(sweep[(f, m)].construction_time_model, 3) for f in factors]
+        for m in ADAPTIVE_METHODS
+    }
+    split.update(
+        {
+            f"{m} join": [round(sweep[(f, m)].join_time_model, 3) for f in factors]
+            for m in ADAPTIVE_METHODS
+        }
+    )
+    parts = [
+        format_series("Fig. 13a -- replicated objects vs data size", "x", factors, repl),
+        format_series("Fig. 13b -- shuffle remote reads (MB) vs data size", "x", factors, shuffle),
+        format_series(
+            "Fig. 13c -- modelled execution time (s) vs data size "
+            "(OOM: exceeds emulated executor heap, as in the paper)",
+            "x", factors, time,
+        ),
+        format_series("Fig. 13c (stack) -- construction vs join split", "x", factors, split),
+    ]
+    return "\n\n".join(parts), (factors, repl, shuffle, time, oom_factors)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: varying the number of nodes
+# ---------------------------------------------------------------------------
+def fig14_nodes(ctx: ExperimentContext):
+    r, s = ctx.cache.combo(("S1", "S2"))
+    workers = (4, 12) if ctx.scale.quick else (4, 6, 8, 10, 12)
+    methods = ("lpib", "diff", "uni_r", "uni_s")
+    time = {m: [] for m in methods}
+    shuffle = {m: [] for m in methods}
+    for w in workers:
+        for m in methods:
+            metrics = run_grid_method(
+                r, s, DEFAULT_EPS, m, ctx.scale, num_workers=w, num_partitions=8 * w
+            )
+            time[m].append(round(metrics.exec_time_model, 3))
+            shuffle[m].append(round(metrics.remote_bytes / 1e6, 2))
+    parts = [
+        format_series("Fig. 14a -- shuffle remote reads (MB) vs nodes", "nodes", workers, shuffle),
+        format_series("Fig. 14b -- modelled execution time (s) vs nodes", "nodes", workers, time),
+    ]
+    return "\n\n".join(parts), (workers, time, shuffle)
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: varying the grid resolution
+# ---------------------------------------------------------------------------
+def fig15_grid_resolution(ctx: ExperimentContext):
+    r, s = ctx.cache.combo(("S1", "S2"))
+    factors = (2.0, 3.0) if ctx.scale.quick else (2.0, 3.0, 4.0, 5.0)
+    time = {m: [] for m in ADAPTIVE_METHODS}
+    for factor in factors:
+        for m in ADAPTIVE_METHODS:
+            metrics = run_grid_method(
+                r, s, DEFAULT_EPS, m, ctx.scale, resolution_factor=factor
+            )
+            time[m].append(round(metrics.exec_time_model, 3))
+    text = format_series(
+        "Fig. 15 -- modelled execution time (s) vs grid resolution (k * eps)",
+        "k", factors, time,
+    )
+    return text, (factors, time)
+
+
+# ---------------------------------------------------------------------------
+# Figures 16-18: varying the tuple size
+# ---------------------------------------------------------------------------
+def fig16_18_tuple_size(ctx: ExperimentContext, combo=("S1", "S2")):
+    key = ("tuple_size", combo)
+    if key not in ctx._memo:
+        labels = ("f0", "f4") if ctx.scale.quick else tuple(TUPLE_SIZE_FACTORS)
+        out = {}
+        for label in labels:
+            payload = TUPLE_SIZE_FACTORS[label]
+            r, s = ctx.cache.combo(combo, payload_bytes=payload)
+            for method in ALL_COMPARED:
+                out[(label, method)] = run_method(r, s, DEFAULT_EPS, method, ctx.scale)
+        ctx._memo[key] = (labels, out)
+    labels, out = ctx._memo[key]
+    shuffle = {
+        m: [round(out[(f, m)].remote_bytes / 1e6, 2) for f in labels]
+        for m in ALL_COMPARED
+    }
+    time = {
+        m: [round(out[(f, m)].exec_time_model, 3) for f in labels]
+        for m in ALL_COMPARED
+    }
+    parts = [
+        format_series(
+            f"Figs. 16-18a -- shuffle remote reads (MB) vs tuple size ({_combo_label(combo)})",
+            "factor", labels, shuffle,
+        ),
+        format_series(
+            f"Figs. 16-18b -- modelled execution time (s) vs tuple size ({_combo_label(combo)})",
+            "factor", labels, time,
+        ),
+    ]
+    return "\n\n".join(parts), (labels, shuffle, time)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: the running example of Fig. 2, reproduced exactly
+# ---------------------------------------------------------------------------
+#: Hand-placed points satisfying every replication constraint of Table 1.
+#: Grid: 2x2 cells of side 3 over [0, 6]^2, eps = 1; A=top-left, B=top-right,
+#: C=bottom-right, D=bottom-left; the common corner is (3, 3).
+TABLE1_POINTS = {
+    Side.R: {
+        "r1": (1.0, 3.5),  # A -> D
+        "r2": (3.4, 3.5),  # B -> A, C, D (corner)
+        "r3": (5.0, 5.0),  # B, interior
+        "r4": (4.5, 3.2),  # B -> C
+        "r5": (3.5, 2.5),  # C -> A, B, D (corner)
+        "r6": (3.4, 1.0),  # C -> D
+        "r7": (2.2, 2.2),  # D -> A, C (square zone beyond the corner disc)
+        "r8": (1.0, 2.5),  # D -> A
+    },
+    Side.S: {
+        "s1": (2.5, 5.5),  # A -> B
+        "s2": (2.6, 4.8),  # A -> B
+        "s3": (2.5, 3.4),  # A -> B, C, D (corner)
+        "s4": (3.3, 5.0),  # B -> A
+        "s5": (3.3, 2.6),  # C -> A, B, D (corner)
+        "s6": (5.5, 1.0),  # C, interior
+        "s7": (2.6, 2.7),  # D -> A, B, C (corner)
+        "s8": (2.8, 1.0),  # D -> C
+    },
+}
+
+#: Expected per-cell costs from Table 1 of the paper.
+TABLE1_EXPECTED = {
+    "uni_r": {"A": 15, "B": 4, "C": 10, "D": 12, "replicas": 12, "total": 41},
+    "uni_s": {"A": 6, "B": 18, "C": 10, "D": 8, "replicas": 13, "total": 42},
+}
+
+
+def table1_running_example(_ctx: ExperimentContext | None = None):
+    grid = Grid(MBR(0, 0, 6, 6), eps=1.0)
+    assert (grid.nx, grid.ny) == (2, 2)
+    cell_names = {
+        grid.cell_id(0, 1): "A",
+        grid.cell_id(1, 1): "B",
+        grid.cell_id(1, 0): "C",
+        grid.cell_id(0, 0): "D",
+    }
+    results = {}
+    for method, replicated in (("uni_r", Side.R), ("uni_s", Side.S)):
+        assigner = UniversalAssigner(grid, replicated)
+        counts = {name: {Side.R: 0, Side.S: 0} for name in "ABCD"}
+        replicas = 0
+        for side, points in TABLE1_POINTS.items():
+            for _name, (x, y) in points.items():
+                cells = assigner.assign(x, y, side)
+                replicas += len(cells) - 1
+                for cell in cells:
+                    counts[cell_names[cell]][side] += 1
+        costs = {
+            name: counts[name][Side.R] * counts[name][Side.S] for name in "ABCD"
+        }
+        results[method] = {**costs, "replicas": replicas, "total": sum(costs.values())}
+    rows = [
+        [
+            method.upper(),
+            *(results[method][c] for c in "ABCD"),
+            results[method]["replicas"],
+            results[method]["total"],
+        ]
+        for method in ("uni_r", "uni_s")
+    ]
+    text = format_table(
+        "Table 1 -- running example: per-cell cost (r x s), replicas, total",
+        ["method", "A", "B", "C", "D", "replicas", "total cost"],
+        rows,
+    )
+    return text, results
+
+
+# ---------------------------------------------------------------------------
+# Table 4: selectivity and join-result counts
+# ---------------------------------------------------------------------------
+def table4_selectivity(ctx: ExperimentContext):
+    rows = []
+    data = {}
+    for combo in (("S1", "S2"), ("R1", "S1")):
+        sweep = ctx.eps_sweep(combo)
+        for eps in ctx.eps_values():
+            m = sweep[(eps, "lpib")]
+            rows.append(
+                [_combo_label(combo), eps, f"{m.selectivity:.3g}", m.results]
+            )
+            data[(combo, eps)] = m.selectivity
+    size = ctx.size_sweep()
+    for factor in ctx.size_factors():
+        m = size[(factor, "lpib")]
+        rows.append([f"S1 |><| S2 (x{factor})", DEFAULT_EPS, f"{m.selectivity:.3g}", m.results])
+        data[("size", factor)] = m.selectivity
+    text = format_table(
+        "Table 4 -- join selectivity and result counts",
+        ["workload", "eps", "selectivity", "join results"],
+        rows,
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# Table 5: attributes carried through the join vs post-processing
+# ---------------------------------------------------------------------------
+def table5_attribute_inclusion(ctx: ExperimentContext):
+    payload = TUPLE_SIZE_FACTORS["f1"]
+    r, s = ctx.cache.combo(("S1", "S2"), payload_bytes=payload)
+    rows = []
+    data = {}
+    for method in ADAPTIVE_METHODS:
+        on_join = run_grid_method(r, s, DEFAULT_EPS, method, ctx.scale)
+        lean = run_grid_method(
+            r.with_payload(0), s.with_payload(0), DEFAULT_EPS, method, ctx.scale
+        )
+        post = post_process_attributes(lean.results, r, s, ctx.scale.num_workers)
+        post_total = lean.exec_time_model + post.time_model
+        rows.append(
+            [method, round(on_join.exec_time_model, 3), round(post_total, 3)]
+        )
+        data[method] = (on_join.exec_time_model, post_total)
+    text = format_table(
+        "Table 5 -- modelled time (s): attributes on join vs post-processing (f1)",
+        ["method", "on join", "post-processing"],
+        rows,
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# Table 6: duplicate-free assignment vs dedup-after-join
+# ---------------------------------------------------------------------------
+def table6_dedup(ctx: ExperimentContext):
+    r, s = ctx.cache.combo(("S1", "S2"))
+    rows = []
+    data = {}
+    for method in ADAPTIVE_METHODS:
+        free = run_grid_method(r, s, DEFAULT_EPS, method, ctx.scale)
+        dedup = run_grid_method(
+            r, s, DEFAULT_EPS, method, ctx.scale,
+            duplicate_free=False, collect_pairs=True,
+        )
+        rows.append(
+            [method, round(free.exec_time_model, 3), round(dedup.exec_time_model, 3)]
+        )
+        data[method] = (free.exec_time_model, dedup.exec_time_model)
+        assert free.results == dedup.results
+    text = format_table(
+        "Table 6 -- modelled time (s): duplicate-free vs dedup-after-join",
+        ["method", "duplicate-free", "with dedup step"],
+        rows,
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# Table 7: hash-based vs LPT assignment of cells to workers
+# ---------------------------------------------------------------------------
+def table7_lpt(ctx: ExperimentContext):
+    workloads = [
+        ("S1 |><| S2 x4", ctx.cache.combo(("S1", "S2"), size_factor=1 if ctx.scale.quick else 4)),
+        ("R2 |><| R1", ctx.cache.combo(("R2", "R1"))),
+    ]
+    rows = []
+    data = {}
+    for label, (r, s) in workloads:
+        for method in ADAPTIVE_METHODS:
+            hash_m = run_grid_method(
+                r, s, DEFAULT_EPS, method, ctx.scale, cell_assignment="hash"
+            )
+            lpt_m = run_grid_method(
+                r, s, DEFAULT_EPS, method, ctx.scale, cell_assignment="lpt"
+            )
+            rows.append(
+                [
+                    label,
+                    method,
+                    round(hash_m.exec_time_model, 3),
+                    round(lpt_m.exec_time_model, 3),
+                    round(max(hash_m.worker_join_costs), 4),
+                    round(max(lpt_m.worker_join_costs), 4),
+                ]
+            )
+            data[(label, method)] = (hash_m, lpt_m)
+    text = format_table(
+        "Table 7 -- hash vs LPT cell assignment (modelled time / max worker load)",
+        ["workload", "method", "hash time", "LPT time", "hash max load", "LPT max load"],
+        rows,
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# Ablations (beyond the paper's tables; motivated by Sect. 5.2 and Sect. 7.1)
+# ---------------------------------------------------------------------------
+def ablation_edge_ordering(ctx: ExperimentContext):
+    """Effect of Algorithm 1's edge-examination order on replication."""
+    r, s = ctx.cache.combo(("S1", "S2"))
+    rows = []
+    data = {}
+    for ordering in ("paper", "weight_only", "arbitrary"):
+        m = run_grid_method(
+            r, s, DEFAULT_EPS, "lpib", ctx.scale, marking_ordering=ordering
+        )
+        rows.append([ordering, m.replicated_total, round(m.exec_time_model, 3)])
+        data[ordering] = m.replicated_total
+    text = format_table(
+        "Ablation -- Algorithm 1 edge ordering (LPiB)",
+        ["ordering", "replicated", "modelled time (s)"],
+        rows,
+    )
+    return text, data
+
+
+def table2_datasets(ctx: ExperimentContext):
+    """Table 2: the dataset inventory, at reproduction scale."""
+    from repro.data.datasets import _SPECS  # noqa: SLF001 - registry view
+
+    rows = []
+    data = {}
+    for codename in sorted(_SPECS):
+        spec = _SPECS[codename]
+        ps = ctx.cache.get(codename)
+        rows.append([spec.product, codename, f"{len(ps):,}",
+                     f"(paper: {spec.relative_cardinality * 100:.1f}M-scale)"])
+        data[codename] = len(ps)
+    text = format_table(
+        "Table 2 -- data sets (paper cardinalities scaled to base_n)",
+        ["product", "codename", "cardinality", "paper scale"],
+        rows,
+    )
+    return text, data
+
+
+def ext_samj(ctx: ExperimentContext):
+    """Extension: the SAMJ R-tree join vs the MASJ grid methods (Sect. 2).
+
+    SAMJ assigns every point once (zero replication) but joins a
+    partition with several others, so it ships far more records; MASJ
+    replicates but each partition is joined exactly once.
+    """
+    from repro.baselines.rtree_join import SamjConfig, rtree_samj_join
+
+    r, s = ctx.cache.combo(("S1", "S2"))
+    rows = []
+    data = {}
+    for method in ("lpib", "uni_r"):
+        m = run_grid_method(r, s, DEFAULT_EPS, method, ctx.scale)
+        data[method] = m
+        rows.append(
+            [f"{method} (MASJ)", m.replicated_total, m.shuffle_records,
+             round(m.exec_time_model, 3)]
+        )
+    samj = rtree_samj_join(
+        r, s, SamjConfig(eps=DEFAULT_EPS, num_workers=ctx.scale.num_workers)
+    ).metrics
+    data["samj"] = samj
+    rows.append(
+        ["rtree (SAMJ)", samj.replicated_total, samj.shuffle_records,
+         round(samj.exec_time_model, 3)]
+    )
+    text = format_table(
+        "Extension -- SAMJ vs MASJ (S1 |><| S2): replication vs multi-join shipping",
+        ["algorithm", "replicated", "shipped records", "time (s)"],
+        rows,
+    )
+    return text, data
+
+
+def ext_cost_model(ctx: ExperimentContext):
+    """Extension: analytical predictions vs measurements (Sect. 8)."""
+    from repro.core.cost_model import predict_join
+
+    r, s = ctx.cache.combo(("S1", "S2"))
+    rows = []
+    data = {}
+    for method in ("lpib", "diff", "uni_r", "uni_s", "eps_grid"):
+        pred = predict_join(r, s, DEFAULT_EPS, method)
+        actual = run_grid_method(r, s, DEFAULT_EPS, method, ctx.scale)
+        rows.append(
+            [
+                method,
+                round(pred.replicated_total),
+                actual.replicated_total,
+                round(pred.exec_time, 3),
+                round(actual.exec_time_model, 3),
+            ]
+        )
+        data[method] = (pred, actual)
+    text = format_table(
+        "Extension -- cost model: predicted vs measured (S1 |><| S2)",
+        ["method", "repl pred", "repl meas", "time pred", "time meas"],
+        rows,
+    )
+    return text, data
+
+
+def ext_generalized_partitions(ctx: ExperimentContext):
+    """Extension: marking vs ownership, grid vs QuadTree (Sect. 8)."""
+    from repro.joins.generalized_join import (
+        GeneralizedJoinConfig,
+        generalized_distance_join,
+    )
+
+    r, s = ctx.cache.combo(("S1", "S2"))
+    marking = run_grid_method(r, s, DEFAULT_EPS, "lpib", ctx.scale)
+    rows = [
+        [
+            "grid + marking (paper)",
+            marking.replicated_total,
+            round(marking.exec_time_model, 3),
+            marking.grid_cells,
+        ]
+    ]
+    data = {"marking": marking}
+    for partition in ("grid", "quadtree"):
+        cfg = GeneralizedJoinConfig(
+            eps=DEFAULT_EPS, partition=partition, method="lpib",
+            num_workers=ctx.scale.num_workers,
+        )
+        m = generalized_distance_join(r, s, cfg).metrics
+        data[partition] = m
+        rows.append(
+            [f"{partition} + ownership", m.replicated_total,
+             round(m.exec_time_model, 3), m.grid_cells]
+        )
+    clone_cfg = GeneralizedJoinConfig(
+        eps=DEFAULT_EPS, partition="grid", method="clone",
+        num_workers=ctx.scale.num_workers,
+    )
+    clone = generalized_distance_join(r, s, clone_cfg).metrics
+    data["clone"] = clone
+    rows.append(
+        ["grid + clone join [14]", clone.replicated_total,
+         round(clone.exec_time_model, 3), clone.grid_cells]
+    )
+    text = format_table(
+        "Extension -- generalized partitioning (LPiB, S1 |><| S2)",
+        ["scheme", "replicated", "time (s)", "leaves"],
+        rows,
+    )
+    return text, data
+
+
+def ext_object_joins(ctx: ExperimentContext):
+    """Extension: adaptive replication over objects with extent (Sect. 8)."""
+    from repro.data.object_generators import random_boxes, random_polylines
+    from repro.joins.object_join import ObjectSet, object_distance_join
+
+    n = max(ctx.scale.base_n // 4, 500)
+    r = ObjectSet(random_boxes(n, Side.R, seed=71), "areasR")
+    s = ObjectSet(random_polylines(n, Side.S, seed=72), "linesS")
+    eps = 0.008
+    rows = []
+    data = {}
+    for method in ("lpib", "diff", "uni_r", "uni_s"):
+        m = object_distance_join(r, s, eps, method=method).metrics
+        data[method] = m
+        rows.append(
+            [method, m.replicated_total, round(m.remote_bytes / 1e6, 2),
+             round(m.exec_time_model, 3), m.results]
+        )
+    text = format_table(
+        "Extension -- object distance join (boxes x polylines)",
+        ["method", "replicated", "remote MB", "time (s)", "results"],
+        rows,
+    )
+    return text, data
+
+
+def ablation_sample_rate(ctx: ExperimentContext):
+    """Effect of the sampling rate phi (the paper fixes 3%)."""
+    r, s = ctx.cache.combo(("S1", "S2"))
+    rates = (0.01, 0.03) if ctx.scale.quick else (0.005, 0.01, 0.03, 0.1, 0.3)
+    rows = []
+    data = {}
+    for rate in rates:
+        m = run_grid_method(r, s, DEFAULT_EPS, "lpib", ctx.scale, sample_rate=rate)
+        rows.append([rate, m.replicated_total, round(m.exec_time_model, 3)])
+        data[rate] = m.replicated_total
+    text = format_table(
+        "Ablation -- sampling rate phi (LPiB)",
+        ["phi", "replicated", "modelled time (s)"],
+        rows,
+    )
+    return text, data

@@ -1,0 +1,404 @@
+"""Dependency-free SVG rendering of benchmark figures.
+
+The paper's evaluation is communicated through line charts (Figs. 10-18);
+this module renders the reproduced series as standalone SVG files next to
+the text reports, without any plotting dependency.  Supports linear and
+log-scale y axes (the paper plots replication counts in log scale).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Sequence
+
+#: Fill colours for up to eight series (colour-blind-safe palette).
+PALETTE = (
+    "#4477aa",
+    "#ee6677",
+    "#228833",
+    "#ccbb44",
+    "#66ccee",
+    "#aa3377",
+    "#bbbbbb",
+    "#222222",
+)
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 160, 40, 50
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step / 2:
+        ticks.append(round(t, 12))
+        t += step
+    return ticks
+
+
+def _fmt_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e5 or abs(v) < 1e-3:
+        return f"{v:.0e}"
+    if abs(v) >= 100:
+        return f"{v:,.0f}"
+    return f"{v:g}"
+
+
+def render_line_chart(
+    title: str,
+    x_label: str,
+    y_label: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    log_y: bool = False,
+) -> str:
+    """An SVG line chart as a string."""
+    if not xs or not series:
+        raise ValueError("chart needs x values and at least one series")
+    values = [v for ys in series.values() for v in ys if v is not None]
+    if not values:
+        raise ValueError("chart needs at least one data point")
+    if log_y and min(values) <= 0:
+        raise ValueError("log scale requires positive values")
+
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+
+    if log_y:
+        y_lo = math.log10(min(values))
+        y_hi = math.log10(max(values))
+        if y_hi == y_lo:
+            y_hi = y_lo + 1
+        y_ticks = list(range(math.floor(y_lo), math.ceil(y_hi) + 1))
+        y_lo, y_hi = y_ticks[0], y_ticks[-1]
+    else:
+        lo, hi = min(0.0, min(values)), max(values)
+        y_ticks = _nice_ticks(lo, hi)
+        y_lo, y_hi = y_ticks[0], y_ticks[-1]
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(v: float) -> float:
+        y = math.log10(v) if log_y else v
+        return _MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="22" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{title}</text>',
+    ]
+
+    # y grid + ticks
+    for t in y_ticks:
+        v = 10**t if log_y else t
+        y = py(v)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_WIDTH - _MARGIN_R}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        label = f"1e{t}" if log_y else _fmt_tick(t)
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{label}</text>'
+        )
+    # x ticks at the data points
+    for x in xs:
+        xp = px(float(x))
+        parts.append(
+            f'<line x1="{xp:.1f}" y1="{_HEIGHT - _MARGIN_B}" x2="{xp:.1f}" '
+            f'y2="{_HEIGHT - _MARGIN_B + 4}" stroke="#333333"/>'
+        )
+        parts.append(
+            f'<text x="{xp:.1f}" y="{_HEIGHT - _MARGIN_B + 18}" '
+            f'text-anchor="middle">{_fmt_tick(float(x))}</text>'
+        )
+
+    # axes
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T}" x2="{_MARGIN_L}" '
+        f'y2="{_HEIGHT - _MARGIN_B}" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{_HEIGHT - _MARGIN_B}" '
+        f'x2="{_WIDTH - _MARGIN_R}" y2="{_HEIGHT - _MARGIN_B}" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2}" y="{_HEIGHT - 12}" '
+        f'text-anchor="middle">{x_label}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{_MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {_MARGIN_T + plot_h / 2})">{y_label}</text>'
+    )
+
+    # series
+    for i, (name, ys) in enumerate(series.items()):
+        colour = PALETTE[i % len(PALETTE)]
+        points = " ".join(
+            f"{px(float(x)):.1f},{py(float(v)):.1f}"
+            for x, v in zip(xs, ys)
+            if v is not None
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{colour}" stroke-width="2" '
+            f'points="{points}"/>'
+        )
+        for x, v in zip(xs, ys):
+            if v is None:
+                continue
+            parts.append(
+                f'<circle cx="{px(float(x)):.1f}" cy="{py(float(v)):.1f}" '
+                f'r="3" fill="{colour}"/>'
+            )
+        ly = _MARGIN_T + 14 + i * 18
+        lx = _WIDTH - _MARGIN_R + 12
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 22}" y2="{ly - 4}" '
+            f'stroke="{colour}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 28}" y="{ly}">{name}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_bar_chart(
+    title: str,
+    y_label: str,
+    categories: Sequence[str],
+    series: dict[str, Sequence[float]],
+    log_y: bool = False,
+) -> str:
+    """An SVG grouped bar chart (the Fig. 1b form)."""
+    if not categories or not series:
+        raise ValueError("chart needs categories and at least one series")
+    values = [v for ys in series.values() for v in ys]
+    if log_y and min(values) <= 0:
+        raise ValueError("log scale requires positive values")
+
+    if log_y:
+        y_lo = math.floor(math.log10(min(values)))
+        y_hi = math.ceil(math.log10(max(values)))
+        if y_hi == y_lo:
+            y_hi += 1
+        ticks = list(range(y_lo, y_hi + 1))
+    else:
+        ticks = _nice_ticks(0.0, max(values))
+        y_lo, y_hi = ticks[0], ticks[-1]
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+    n_cat, n_series = len(categories), len(series)
+    group_w = plot_w / n_cat
+    bar_w = group_w * 0.8 / n_series
+
+    def py(v: float) -> float:
+        y = math.log10(v) if log_y else v
+        return _MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="22" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{title}</text>',
+    ]
+    for t in ticks:
+        v = 10**t if log_y else t
+        if not log_y and v < 0:
+            continue
+        y = py(v) if (log_y or v > 0) else _MARGIN_T + plot_h
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_WIDTH - _MARGIN_R}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        label = f"1e{t}" if log_y else _fmt_tick(t)
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" text-anchor="end">{label}</text>'
+        )
+    baseline = _MARGIN_T + plot_h
+    for c, cat in enumerate(categories):
+        gx = _MARGIN_L + c * group_w
+        for i, (name, ys) in enumerate(series.items()):
+            colour = PALETTE[i % len(PALETTE)]
+            x = gx + group_w * 0.1 + i * bar_w
+            top = py(ys[c])
+            parts.append(
+                f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+                f'height="{max(baseline - top, 0):.1f}" fill="{colour}"/>'
+            )
+        parts.append(
+            f'<text x="{gx + group_w / 2:.1f}" y="{baseline + 18}" '
+            f'text-anchor="middle">{cat}</text>'
+        )
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{baseline}" x2="{_WIDTH - _MARGIN_R}" '
+        f'y2="{baseline}" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<text x="18" y="{_MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {_MARGIN_T + plot_h / 2})">{y_label}</text>'
+    )
+    for i, name in enumerate(series):
+        colour = PALETTE[i % len(PALETTE)]
+        ly = _MARGIN_T + 14 + i * 18
+        lx = _WIDTH - _MARGIN_R + 12
+        parts.append(
+            f'<rect x="{lx}" y="{ly - 10}" width="12" height="12" fill="{colour}"/>'
+        )
+        parts.append(f'<text x="{lx + 18}" y="{ly}">{name}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_stacked_bar_chart(
+    title: str,
+    y_label: str,
+    categories: Sequence[str],
+    groups: dict[str, dict[str, Sequence[float]]],
+) -> str:
+    """Stacked grouped bars (the Fig. 13c construction/join split form).
+
+    ``groups`` maps a group name (one bar per category) to its stack
+    layers: ``{"lpib": {"construction": [...], "join": [...]}, ...}``.
+    """
+    if not categories or not groups:
+        raise ValueError("chart needs categories and at least one group")
+    totals = [
+        sum(layers[layer][c] for layer in layers)
+        for layers in groups.values()
+        for c in range(len(categories))
+    ]
+    ticks = _nice_ticks(0.0, max(totals))
+    y_lo, y_hi = ticks[0], ticks[-1]
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+    group_w = plot_w / len(categories)
+    bar_w = group_w * 0.8 / len(groups)
+    baseline = _MARGIN_T + plot_h
+
+    def h(v: float) -> float:
+        return v / (y_hi - y_lo) * plot_h
+
+    # layer colours are shared across groups; group position varies
+    layer_names = list(next(iter(groups.values())).keys())
+    layer_colour = {
+        layer: PALETTE[i % len(PALETTE)] for i, layer in enumerate(layer_names)
+    }
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="22" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{title}</text>',
+    ]
+    for t in ticks:
+        y = baseline - h(t)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_WIDTH - _MARGIN_R}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{_fmt_tick(t)}</text>'
+        )
+    for c, cat in enumerate(categories):
+        gx = _MARGIN_L + c * group_w
+        for g, (gname, layers) in enumerate(groups.items()):
+            x = gx + group_w * 0.1 + g * bar_w
+            y = baseline
+            for layer in layer_names:
+                lh = h(layers[layer][c])
+                y -= lh
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                    f'height="{lh:.1f}" fill="{layer_colour[layer]}" '
+                    'stroke="white" stroke-width="0.5"/>'
+                )
+        parts.append(
+            f'<text x="{gx + group_w / 2:.1f}" y="{baseline + 18}" '
+            f'text-anchor="middle">{cat}</text>'
+        )
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{baseline}" x2="{_WIDTH - _MARGIN_R}" '
+        f'y2="{baseline}" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<text x="18" y="{_MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {_MARGIN_T + plot_h / 2})">{y_label}</text>'
+    )
+    for i, layer in enumerate(layer_names):
+        ly = _MARGIN_T + 14 + i * 18
+        lx = _WIDTH - _MARGIN_R + 12
+        parts.append(
+            f'<rect x="{lx}" y="{ly - 10}" width="12" height="12" '
+            f'fill="{layer_colour[layer]}"/>'
+        )
+        parts.append(f'<text x="{lx + 18}" y="{ly}">{layer}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_bar_figure(
+    name: str,
+    title: str,
+    y_label: str,
+    categories: Sequence[str],
+    series: dict[str, Sequence[float]],
+    log_y: bool = False,
+    directory: str | None = None,
+) -> str:
+    """Render a bar chart and write it under the results directory."""
+    from repro.bench.report import RESULTS_DIR
+
+    directory = directory or RESULTS_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.svg")
+    with open(path, "w") as f:
+        f.write(render_bar_chart(title, y_label, categories, series, log_y))
+    return path
+
+
+def save_figure(
+    name: str,
+    title: str,
+    x_label: str,
+    y_label: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    log_y: bool = False,
+    directory: str | None = None,
+) -> str:
+    """Render a chart and write it under the results directory."""
+    from repro.bench.report import RESULTS_DIR
+
+    directory = directory or RESULTS_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.svg")
+    with open(path, "w") as f:
+        f.write(render_line_chart(title, x_label, y_label, xs, series, log_y))
+    return path

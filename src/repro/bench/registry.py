@@ -1,0 +1,80 @@
+"""A name-indexed registry of all paper experiments.
+
+Used by the command-line interface (``repro-experiment``) and available
+to notebooks/scripts: every entry maps an experiment id to a callable
+``fn(ctx) -> (report_text, data)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.experiments import (
+    ExperimentContext,
+    ablation_edge_ordering,
+    ablation_sample_rate,
+    ext_cost_model,
+    ext_generalized_partitions,
+    ext_object_joins,
+    ext_samj,
+    fig01_replication_overhead,
+    fig10_replication_vs_eps,
+    fig11_shuffle_vs_eps,
+    fig12_time_vs_eps,
+    fig13_scalability,
+    fig14_nodes,
+    fig15_grid_resolution,
+    fig16_18_tuple_size,
+    table1_running_example,
+    table2_datasets,
+    table4_selectivity,
+    table5_attribute_inclusion,
+    table6_dedup,
+    table7_lpt,
+)
+
+Experiment = Callable[[ExperimentContext], tuple]
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "fig1b": fig01_replication_overhead,
+    "fig10": fig10_replication_vs_eps,
+    "fig10-r1s1": lambda ctx: fig10_replication_vs_eps(ctx, ("R1", "S1")),
+    "fig11": fig11_shuffle_vs_eps,
+    "fig11-r1s1": lambda ctx: fig11_shuffle_vs_eps(ctx, ("R1", "S1")),
+    "fig12": fig12_time_vs_eps,
+    "fig12-r1s1": lambda ctx: fig12_time_vs_eps(ctx, ("R1", "S1")),
+    "fig13": fig13_scalability,
+    "fig14": fig14_nodes,
+    "fig15": fig15_grid_resolution,
+    "fig16": fig16_18_tuple_size,
+    "fig17": lambda ctx: fig16_18_tuple_size(ctx, ("R1", "S1")),
+    "fig18": lambda ctx: fig16_18_tuple_size(ctx, ("R2", "R1")),
+    "table1": table1_running_example,
+    "table2": table2_datasets,
+    "table4": table4_selectivity,
+    "table5": table5_attribute_inclusion,
+    "table6": table6_dedup,
+    "table7": table7_lpt,
+    "ablation-ordering": ablation_edge_ordering,
+    "ablation-sampling": ablation_sample_rate,
+    "ext-cost-model": ext_cost_model,
+    "ext-generalized": ext_generalized_partitions,
+    "ext-objects": ext_object_joins,
+    "ext-samj": ext_samj,
+}
+
+
+def available_experiments() -> list[str]:
+    """Sorted experiment ids."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, ctx: ExperimentContext) -> tuple:
+    """Execute one registered experiment by id."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {available_experiments()}"
+        ) from None
+    return fn(ctx)

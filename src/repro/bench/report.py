@@ -1,0 +1,87 @@
+"""Plain-text reporting of benchmark results, paper-table style."""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+#: Where text reports land (created on demand, relative to the cwd the
+#: benchmarks run from).
+RESULTS_DIR = os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """An aligned monospace table with a title rule."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        f"== {title} ==",
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    lines += [" | ".join(c.rjust(w) for c, w in zip(row, widths)) for row in cells]
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence],
+) -> str:
+    """A figure rendered as one column per x value, one row per series."""
+    headers = [x_label] + [_fmt(x) for x in xs]
+    rows = [[name, *values] for name, values in series.items()]
+    return format_table(title, headers, rows)
+
+
+def write_report(name: str, text: str) -> str:
+    """Print a report and persist it under the results directory."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def write_csv(
+    name: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Persist tabular data as CSV next to the text reports."""
+    import csv
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.csv")
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def series_to_csv(
+    name: str, x_label: str, xs: Sequence, series: dict[str, Sequence]
+) -> str:
+    """Persist a figure's series as CSV: one row per x, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[s][i] for s in series)] for i, x in enumerate(xs)
+    ]
+    return write_csv(name, headers, rows)

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday workflows:
+
+* ``repro join`` -- run an epsilon-distance join over generated or
+  text-file data with any method; print metrics (optionally the pairs).
+* ``repro experiment`` -- regenerate one of the paper's tables/figures.
+* ``repro predict`` -- analytic cost predictions and a method
+  recommendation for a workload, without running the join.
+* ``repro generate`` -- write one of the paper's datasets as a text file.
+
+Installed as the ``repro`` console script; also runnable with
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import BenchScale
+from repro.data.datasets import DEFAULT_BASE_N, load_dataset
+from repro.data.io import read_points_text, write_points_text
+from repro.joins.api import ALL_METHODS, spatial_join
+
+_DATASETS = ("R1", "R2", "S1", "S2")
+
+
+def _load_input(spec: str, base_n: int, payload: int):
+    """A dataset codename (R1/R2/S1/S2) or a path to an ``id,x,y`` file."""
+    if spec in _DATASETS:
+        return load_dataset(spec, base_n=base_n, payload_bytes=payload)
+    return read_points_text(spec, payload_bytes=payload, name=spec)
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    r = _load_input(args.r, args.base_n, args.payload)
+    s = _load_input(args.s, args.base_n, args.payload)
+    result = spatial_join(
+        r, s, eps=args.eps, method=args.method,
+        **(
+            {}
+            if args.method in ("naive",)
+            else {"num_workers": args.workers}
+        ),
+    )
+    m = result.metrics
+    print(f"inputs: {len(r):,} x {len(s):,} points, eps={args.eps}, "
+          f"method={args.method}")
+    print(m.summary())
+    print(f"selectivity: {m.selectivity:.3g}   candidates: {m.candidate_pairs:,}")
+    if args.show_pairs:
+        for rid, sid in sorted(result.pairs_set())[: args.show_pairs]:
+            print(f"  ({rid}, {sid})")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    # imported lazily: pulls in the whole bench stack
+    from repro.bench.experiments import ExperimentContext
+    from repro.bench.registry import available_experiments, run_experiment
+
+    if args.list:
+        print("\n".join(available_experiments()))
+        return 0
+    if not args.name:
+        print("experiment name required (or --list)", file=sys.stderr)
+        return 2
+    scale = BenchScale(base_n=args.base_n, quick=args.quick)
+    ctx = ExperimentContext(scale)
+    try:
+        text, _data = run_experiment(args.name, ctx)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(text)
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.cost_model import recommend_method
+
+    r = _load_input(args.r, args.base_n, args.payload)
+    s = _load_input(args.s, args.base_n, args.payload)
+    best, predictions = recommend_method(
+        r, s, args.eps, sample_rate=args.sample_rate, num_workers=args.workers
+    )
+    for method in sorted(predictions, key=lambda m: predictions[m].exec_time):
+        print(predictions[method].describe())
+    print(f"\nrecommended method: {best}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    ps = load_dataset(args.dataset, base_n=args.base_n)
+    write_points_text(ps, args.output)
+    print(f"wrote {len(ps):,} points of {args.dataset} to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run every registered experiment and write a combined markdown report."""
+    import time
+
+    from repro.bench.experiments import ExperimentContext
+    from repro.bench.registry import available_experiments, run_experiment
+
+    scale = BenchScale(base_n=args.base_n, quick=args.quick)
+    ctx = ExperimentContext(scale)
+    names = args.only or available_experiments()
+    sections = [
+        "# Reproduction report",
+        "",
+        f"base_n = {scale.base_n}, quick = {scale.quick}",
+        "",
+    ]
+    for name in names:
+        start = time.perf_counter()
+        try:
+            text, _data = run_experiment(name, ctx)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        print(f"[{name}] done in {elapsed:.1f}s")
+        sections += [f"## {name}", "", "```", text, "```", ""]
+    report = "\n".join(sections)
+    with open(args.output, "w") as f:
+        f.write(report)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel spatial joins with adaptive replication (EDBT 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    join = sub.add_parser("join", help="run an epsilon-distance join")
+    join.add_argument("--r", default="S1", help="dataset codename or id,x,y file")
+    join.add_argument("--s", default="S2", help="dataset codename or id,x,y file")
+    join.add_argument("--eps", type=float, default=0.012)
+    join.add_argument("--method", choices=ALL_METHODS, default="lpib")
+    join.add_argument("--workers", type=int, default=12)
+    join.add_argument("--base-n", type=int, default=DEFAULT_BASE_N,
+                      help="cardinality for generated datasets")
+    join.add_argument("--payload", type=int, default=0, help="payload bytes per tuple")
+    join.add_argument("--show-pairs", type=int, default=0, metavar="N",
+                      help="print the first N result pairs")
+    join.set_defaults(fn=_cmd_join)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", nargs="?", help="experiment id (see --list)")
+    exp.add_argument("--list", action="store_true", help="list experiment ids")
+    exp.add_argument("--base-n", type=int, default=DEFAULT_BASE_N)
+    exp.add_argument("--quick", action="store_true", help="shrink the sweeps")
+    exp.set_defaults(fn=_cmd_experiment)
+
+    pred = sub.add_parser("predict", help="cost predictions + method recommendation")
+    pred.add_argument("--r", default="S1")
+    pred.add_argument("--s", default="S2")
+    pred.add_argument("--eps", type=float, default=0.012)
+    pred.add_argument("--sample-rate", type=float, default=0.03)
+    pred.add_argument("--workers", type=int, default=12)
+    pred.add_argument("--base-n", type=int, default=DEFAULT_BASE_N)
+    pred.add_argument("--payload", type=int, default=0)
+    pred.set_defaults(fn=_cmd_predict)
+
+    gen = sub.add_parser("generate", help="write a dataset as an id,x,y file")
+    gen.add_argument("dataset", choices=_DATASETS)
+    gen.add_argument("output")
+    gen.add_argument("--base-n", type=int, default=DEFAULT_BASE_N)
+    gen.set_defaults(fn=_cmd_generate)
+
+    rep = sub.add_parser(
+        "report", help="run all experiments and write a combined markdown report"
+    )
+    rep.add_argument("--output", default="reproduction_report.md")
+    rep.add_argument("--base-n", type=int, default=DEFAULT_BASE_N)
+    rep.add_argument("--quick", action="store_true")
+    rep.add_argument("--only", nargs="*", help="experiment ids to include")
+    rep.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

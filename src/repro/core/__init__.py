@@ -1,0 +1,26 @@
+"""Analytical models of the paper's algorithms (Sect. 8 future work).
+
+The paper's conclusions name "deriving a theoretical cost model for our
+algorithms" as future work.  This package provides one: closed-form
+predictions of replication, shuffle volume, result cardinality and
+modelled execution time for every grid method, computed from the sample
+statistics alone -- i.e. *before* running the join -- plus a method
+recommender built on top.
+"""
+
+from repro.core.cost_model import (
+    AnalyticalCostModel,
+    CostPrediction,
+    predict_join,
+    recommend_method,
+)
+from repro.core.tuning import TuningResult, tune_join
+
+__all__ = [
+    "AnalyticalCostModel",
+    "CostPrediction",
+    "TuningResult",
+    "predict_join",
+    "recommend_method",
+    "tune_join",
+]

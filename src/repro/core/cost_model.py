@@ -1,0 +1,358 @@
+"""An analytical cost model for the parallel distance-join methods.
+
+Given the grid statistics collected from a Bernoulli sample (the same
+statistics Algorithm 5 gathers anyway), the model predicts -- without
+executing the join -- the quantities the paper measures:
+
+* **replication**: for universal methods, the sum of border-strip and
+  corner candidates of the replicated input; for adaptive methods, the
+  sum over adjacent cell pairs of the *agreed* input's candidates
+  (edge-marking and supplementary corrections are second-order and
+  ignored; the validation tests bound the resulting error).
+* **shuffle volume**: records = inputs + replicas; bytes follow the
+  record-size model; remote fraction approaches ``(W - 1) / W`` under
+  hash placement.
+* **result cardinality**: preferably the *sample-join estimator* -- join
+  the two samples and scale by ``1 / phi^2``, which is unbiased for any
+  distribution; a within-cell-uniformity analytic estimate serves as the
+  fallback when the raw samples are unavailable.
+* **candidate pairs** (plane-sweep): post-replication products scaled by
+  the edge-clipped sweep-window fraction ``(2 eps - eps^2 / w) / w``; an
+  upper bound under within-cell uniformity (clustering lowers it).
+* **modelled time**: the same ``CostModel`` constants the engine charges,
+  with phase makespans approximated by ``max(total / W, hottest cell)``.
+
+All sample counts are scaled by ``1 / phi`` (products by ``1 / phi^2``).
+
+**Selection bias.** Adaptive methods *choose* the input with the smaller
+sampled boundary count, so evaluating the chosen side on the same sample
+underestimates true replication (a winner's-curse effect).  When
+``count_stats`` is supplied (statistics from an independent half of the
+sample), decisions are made on one half and counted on the other, which
+removes the bias; :func:`predict_join` does this automatically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agreements.policies import DiffPolicy, LPiBPolicy, instantiate_pair_types
+from repro.engine.metrics import CostModel
+from repro.engine.shuffle import KEY_BYTES
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.grid.statistics import GridStatistics
+
+
+@dataclass(frozen=True)
+class CostPrediction:
+    """Closed-form estimates for one join method."""
+
+    method: str
+    replicated_r: float
+    replicated_s: float
+    shuffle_records: float
+    shuffle_bytes: float
+    remote_bytes: float
+    results: float
+    candidates: float
+    construction_time: float
+    join_time: float
+
+    @property
+    def replicated_total(self) -> float:
+        return self.replicated_r + self.replicated_s
+
+    @property
+    def exec_time(self) -> float:
+        return self.construction_time + self.join_time
+
+    def describe(self) -> str:
+        return (
+            f"{self.method:>9}: ~{self.replicated_total:,.0f} replicas, "
+            f"~{self.shuffle_bytes / 1e6:.2f} MB shuffle, "
+            f"~{self.results:,.0f} results, ~{self.exec_time:.3f}s"
+        )
+
+
+class AnalyticalCostModel:
+    """Predicts the cost of every grid method from sample statistics."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        stats: GridStatistics,
+        sample_rate: float,
+        n_r: int,
+        n_s: int,
+        record_bytes_r: int = 24,
+        record_bytes_s: int = 24,
+        num_workers: int = 12,
+        cost_model: CostModel | None = None,
+        count_stats: GridStatistics | None = None,
+        count_rate: float | None = None,
+        sample_results: int | None = None,
+        sample_results_rate: float | None = None,
+    ):
+        if not 0 < sample_rate <= 1:
+            raise ValueError("sample rate must be in (0, 1]")
+        self.grid = grid
+        self.stats = stats  # drives agreement decisions
+        self.phi = sample_rate
+        #: statistics used for *counting*; an independent sample half
+        #: removes the winner's-curse bias of adaptive replication.
+        self.count_stats = count_stats or stats
+        self.count_phi = count_rate if count_rate is not None else sample_rate
+        self.n_r = n_r
+        self.n_s = n_s
+        self.record_bytes = {Side.R: record_bytes_r, Side.S: record_bytes_s}
+        self.num_workers = num_workers
+        self.cm = cost_model or CostModel()
+        #: result count of joining the two samples, for the unbiased
+        #: sample-join cardinality estimator (optional).
+        self.sample_results = sample_results
+        self.sample_results_rate = sample_results_rate or sample_rate
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+    def _pair_types_for(self, method: str) -> dict | None:
+        if method == "lpib":
+            return instantiate_pair_types(self.grid, self.stats, LPiBPolicy())
+        if method == "diff":
+            return instantiate_pair_types(self.grid, self.stats, DiffPolicy())
+        return None
+
+    def _replicated_side(self, method: str) -> Side | None:
+        if method == "uni_r":
+            return Side.R
+        if method == "uni_s":
+            return Side.S
+        if method == "eps_grid":
+            return Side.R if self.n_r <= self.n_s else Side.S
+        return None
+
+    def predicted_replication(self, method: str) -> dict[Side, float]:
+        """Expected replicated objects per input, scaled to full data."""
+        pair_types = self._pair_types_for(method)
+        replicated = self._replicated_side(method)
+        out = {Side.R: 0.0, Side.S: 0.0}
+        for a, b, _kind in self.grid.adjacent_pairs():
+            if pair_types is not None:
+                sides: tuple[Side, ...] = (pair_types[frozenset((a, b))],)
+            elif replicated is not None:
+                sides = (replicated,)
+            else:
+                sides = ()
+            for side in sides:
+                out[side] += self.count_stats.directed_candidates(a, b, side)
+                out[side] += self.count_stats.directed_candidates(b, a, side)
+        scale = 1.0 / self.count_phi
+        return {side: count * scale for side, count in out.items()}
+
+    # ------------------------------------------------------------------
+    # per-cell populations after replication
+    # ------------------------------------------------------------------
+    def _post_replication_counts(self, method: str) -> dict[Side, np.ndarray]:
+        pair_types = self._pair_types_for(method)
+        replicated = self._replicated_side(method)
+        n = self.grid.num_cells
+        counts = {
+            side: np.array(
+                [self.count_stats.cell_count(c, side) for c in range(n)],
+                dtype=np.float64,
+            )
+            for side in Side
+        }
+        for a, b, _kind in self.grid.adjacent_pairs():
+            if pair_types is not None:
+                sides: tuple[Side, ...] = (pair_types[frozenset((a, b))],)
+            elif replicated is not None:
+                sides = (replicated,)
+            else:
+                sides = ()
+            for side in sides:
+                counts[side][b] += self.count_stats.directed_candidates(a, b, side)
+                counts[side][a] += self.count_stats.directed_candidates(b, a, side)
+        scale = 1.0 / self.count_phi
+        return {side: arr * scale for side, arr in counts.items()}
+
+    # ------------------------------------------------------------------
+    # headline predictions
+    # ------------------------------------------------------------------
+    def predicted_results(self) -> float:
+        """Expected join cardinality (method-independent).
+
+        Prefers the unbiased sample-join estimator when the constructor
+        received ``sample_results``; otherwise falls back to the analytic
+        within-cell-uniformity estimate (an overestimate for strongly
+        sub-cell-clustered data).
+        """
+        if self.sample_results is not None:
+            return self.sample_results / (self.sample_results_rate**2)
+        eps = self.grid.eps
+        cell_area = self.grid.cell_w * self.grid.cell_h
+        match_prob = min(1.0, math.pi * eps * eps / cell_area)
+        counts = self._post_replication_counts("uni_r")
+        # Use the UNI(R) population: every R point within eps of a border
+        # is present wherever its partners are, so per-cell products of
+        # (replicated R) x (native S) cover cross-border pairs once.
+        native_s = np.array(
+            [
+                self.count_stats.cell_count(c, Side.S)
+                for c in range(self.grid.num_cells)
+            ],
+            dtype=np.float64,
+        ) / self.count_phi
+        return float(np.sum(counts[Side.R] * native_s) * match_prob)
+
+    def predict(self, method: str) -> CostPrediction:
+        """Full prediction for one grid method."""
+        cm = self.cm
+        w = self.num_workers
+        repl = self.predicted_replication(method)
+        records = self.n_r + self.n_s + repl[Side.R] + repl[Side.S]
+        shuffle_bytes = (
+            (self.n_r + repl[Side.R]) * (KEY_BYTES + self.record_bytes[Side.R])
+            + (self.n_s + repl[Side.S]) * (KEY_BYTES + self.record_bytes[Side.S])
+        )
+        remote_fraction = (w - 1) / w
+        remote_bytes = shuffle_bytes * remote_fraction
+
+        counts = self._post_replication_counts(method)
+        products = counts[Side.R] * counts[Side.S]
+        eps, cw = self.grid.eps, self.grid.cell_w
+        # edge-clipped sweep window under within-cell uniformity
+        window = min(1.0, max(0.0, (2 * eps - eps * eps / cw) / cw))
+        candidates = float(products.sum() * window)
+        results = self.predicted_results()
+
+        from repro.engine.broadcast import grid_broadcast_bytes
+
+        # broadcast payload: bare grid for PBSM; grid + agreements for the
+        # adaptive methods (sizes depend only on the grid shape)
+        bcast_payload = grid_broadcast_bytes(self.grid)
+        if method in ("lpib", "diff"):
+            quartets = max(self.grid.nx - 1, 0) * max(self.grid.ny - 1, 0)
+            pairs = sum(1 for _ in self.grid.adjacent_pairs())
+            bcast_payload += quartets * (32 + 12 * 24) + pairs * 12
+
+        construction = (
+            (self.n_r + self.n_s) * cm.map_tuple_cost / w
+            + records * cm.reduce_record_cost / w
+            + remote_bytes * cm.remote_byte_cost / w
+            + (shuffle_bytes - remote_bytes) * cm.local_byte_cost / w
+            + bcast_payload * cm.local_byte_cost
+            + cm.job_overhead
+        )
+        per_cell_cost = products * window * cm.compare_cost
+        join = max(float(per_cell_cost.sum()) / w, float(per_cell_cost.max(initial=0.0)))
+        join += results * cm.emit_cost / w
+
+        return CostPrediction(
+            method=method,
+            replicated_r=repl[Side.R],
+            replicated_s=repl[Side.S],
+            shuffle_records=records,
+            shuffle_bytes=shuffle_bytes,
+            remote_bytes=remote_bytes,
+            results=results,
+            candidates=candidates,
+            construction_time=construction,
+            join_time=join,
+        )
+
+
+def _build_models(r, s, eps, sample_rate, num_workers, seed):
+    """Sample once; build coarse (2 eps) and fine (eps) models lazily."""
+    import numpy as np
+
+    from repro.data.sampling import bernoulli_sample
+    from repro.verify.oracle import kdtree_pairs
+
+    mbr = r.mbr().union(s.mbr())
+    r_sample = bernoulli_sample(r, sample_rate, seed)
+    s_sample = bernoulli_sample(s, sample_rate, seed + 1)
+
+    # sample-join estimator of the result cardinality
+    sample_results = len(
+        kdtree_pairs(
+            list(r_sample.iter_triples()), list(s_sample.iter_triples()), eps
+        )
+    )
+
+    # split each sample into decision and counting halves
+    def halves(sample):
+        mask = np.arange(len(sample)) % 2 == 0
+        return sample.subset(mask), sample.subset(~mask)
+
+    r_dec, r_cnt = halves(r_sample)
+    s_dec, s_cnt = halves(s_sample)
+
+    def build(factor: float) -> AnalyticalCostModel:
+        grid = Grid(mbr, eps, resolution_factor=factor)
+        decision = GridStatistics(grid)
+        decision.add_points(r_dec.xs, r_dec.ys, Side.R)
+        decision.add_points(s_dec.xs, s_dec.ys, Side.S)
+        counting = GridStatistics(grid)
+        counting.add_points(r_cnt.xs, r_cnt.ys, Side.R)
+        counting.add_points(s_cnt.xs, s_cnt.ys, Side.S)
+        return AnalyticalCostModel(
+            grid, decision, sample_rate / 2,
+            n_r=len(r), n_s=len(s),
+            record_bytes_r=r.record_bytes, record_bytes_s=s.record_bytes,
+            num_workers=num_workers,
+            count_stats=counting, count_rate=sample_rate / 2,
+            sample_results=sample_results, sample_results_rate=sample_rate,
+        )
+
+    return build
+
+
+def predict_join(
+    r,
+    s,
+    eps: float,
+    method: str = "lpib",
+    sample_rate: float = 0.03,
+    num_workers: int = 12,
+    seed: int = 0,
+) -> CostPrediction:
+    """Sample two point sets and predict one method's cost.
+
+    Decisions and counts use independent sample halves (bias-corrected);
+    the eps-grid method is predicted on its own finer grid.
+    """
+    build = _build_models(r, s, eps, sample_rate, num_workers, seed)
+    model = build(1.0 if method == "eps_grid" else 2.0)
+    return model.predict(method)
+
+
+def recommend_method(
+    r,
+    s,
+    eps: float,
+    methods: tuple[str, ...] = ("lpib", "diff", "uni_r", "uni_s", "eps_grid"),
+    sample_rate: float = 0.03,
+    num_workers: int = 12,
+    seed: int = 0,
+) -> tuple[str, dict[str, CostPrediction]]:
+    """Pick the method with the lowest predicted execution time.
+
+    Returns ``(best_method, predictions)``.
+    """
+    build = _build_models(r, s, eps, sample_rate, num_workers, seed)
+    coarse = build(2.0)
+    fine = None
+    predictions: dict[str, CostPrediction] = {}
+    for method in methods:
+        model = coarse
+        if method == "eps_grid":
+            fine = fine or build(1.0)
+            model = fine
+        predictions[method] = model.predict(method)
+    best = min(predictions.items(), key=lambda kv: kv[1].exec_time)[0]
+    return best, predictions

@@ -1,0 +1,26 @@
+"""Data sets: point collections, generators, sampling and text IO."""
+
+from repro.data.pointset import PointSet
+from repro.data.generators import gaussian_clusters, real_like, uniform
+from repro.data.datasets import (
+    TUPLE_SIZE_FACTORS,
+    DatasetSpec,
+    load_dataset,
+    paper_datasets,
+)
+from repro.data.sampling import bernoulli_sample
+from repro.data.io import read_points_text, write_points_text
+
+__all__ = [
+    "DatasetSpec",
+    "PointSet",
+    "TUPLE_SIZE_FACTORS",
+    "bernoulli_sample",
+    "gaussian_clusters",
+    "load_dataset",
+    "paper_datasets",
+    "read_points_text",
+    "real_like",
+    "uniform",
+    "write_points_text",
+]

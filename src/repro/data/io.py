@@ -1,0 +1,97 @@
+"""Plain-text point IO (the HDFS text-file stand-in).
+
+Format: one point per line, ``id,x,y`` -- the raw txt layout Algorithm 5
+loads with ``sc.textFile``.  Used by the Spark-style pipeline example and
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.pointset import PointSet
+
+
+def write_points_text(points: PointSet, path: str) -> None:
+    """Write a point set as ``id,x,y`` lines."""
+    with open(path, "w") as f:
+        for pid, x, y in zip(points.ids, points.xs, points.ys):
+            f.write(f"{int(pid)},{float(x)!r},{float(y)!r}\n")
+
+
+def read_points_text(
+    path: str, payload_bytes: int = 0, name: str = ""
+) -> PointSet:
+    """Read a point set written by :func:`write_points_text`."""
+    ids, xs, ys = [], [], []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            pid, x, y = line.split(",")
+            ids.append(int(pid))
+            xs.append(float(x))
+            ys.append(float(y))
+    return PointSet(
+        np.asarray(xs), np.asarray(ys), np.asarray(ids), payload_bytes, name
+    )
+
+
+def parse_point_line(line: str) -> tuple[int, float, float]:
+    """Parse one ``id,x,y`` line (the ``map(line -> tup)`` of Algorithm 5)."""
+    pid, x, y = line.strip().split(",")
+    return (int(pid), float(x), float(y))
+
+
+def write_points_text_parts(points: PointSet, directory: str, parts: int) -> list[str]:
+    """Write a point set as HDFS-style part files (``part-00000`` ...).
+
+    Rows are split into contiguous blocks, mirroring how HDFS chunks a
+    file; returns the part paths in order.
+    """
+    import os
+
+    if parts < 1:
+        raise ValueError("need at least one part")
+    os.makedirs(directory, exist_ok=True)
+    n = len(points)
+    block = -(-n // parts) if n else 1
+    paths = []
+    for p in range(parts):
+        lo, hi = p * block, min((p + 1) * block, n)
+        path = os.path.join(directory, f"part-{p:05d}")
+        with open(path, "w") as f:
+            for i in range(lo, hi):
+                f.write(
+                    f"{int(points.ids[i])},{float(points.xs[i])!r},"
+                    f"{float(points.ys[i])!r}\n"
+                )
+        paths.append(path)
+    return paths
+
+
+def read_points_text_parts(directory: str, payload_bytes: int = 0, name: str = "") -> PointSet:
+    """Read a directory of part files back into a :class:`PointSet`."""
+    import os
+
+    ids, xs, ys = [], [], []
+    for entry in sorted(os.listdir(directory)):
+        if not entry.startswith("part-"):
+            continue
+        with open(os.path.join(directory, entry)) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                pid, x, y = line.split(",")
+                ids.append(int(pid))
+                xs.append(float(x))
+                ys.append(float(y))
+    return PointSet(
+        np.asarray(xs, dtype=float),
+        np.asarray(ys, dtype=float),
+        np.asarray(ids, dtype=np.int64),
+        payload_bytes,
+        name,
+    )

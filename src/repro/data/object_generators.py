@@ -1,0 +1,134 @@
+"""Generators for objects with extent (boxes, polygons, polylines).
+
+Mimic the paper's real data classes: TIGER *Area Hydrography* and OSM
+*Parks* are area features (polygons, approximated by their MBRs in many
+systems), while road/river networks are polylines.  Objects cluster
+spatially like the point generators, and object sizes are log-normal
+(many small features, a few large ones).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.generators import UNIT_MBR
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import BoxObject, PolygonObject, PolylineObject
+from repro.geometry.point import Side
+
+
+def _cluster_centers(n, mbr, n_clusters, std_rel, rng):
+    extent = max(mbr.width, mbr.height)
+    centers_x = rng.uniform(mbr.xmin, mbr.xmax, n_clusters)
+    centers_y = rng.uniform(mbr.ymin, mbr.ymax, n_clusters)
+    stds = rng.uniform(std_rel[0] * extent, std_rel[1] * extent, n_clusters)
+    member = rng.integers(0, n_clusters, n)
+    xs = np.clip(
+        rng.normal(centers_x[member], stds[member]), mbr.xmin, mbr.xmax
+    )
+    ys = np.clip(
+        rng.normal(centers_y[member], stds[member]), mbr.ymin, mbr.ymax
+    )
+    return xs, ys
+
+
+def _sizes(n, mean_size, rng):
+    """Log-normal object diameters with the requested mean."""
+    sigma = 0.6
+    mu = math.log(mean_size) - sigma * sigma / 2
+    return rng.lognormal(mu, sigma, n)
+
+
+def random_boxes(
+    n: int,
+    side: Side,
+    mbr: MBR = UNIT_MBR,
+    n_clusters: int = 30,
+    std_range: tuple[float, float] = (0.002, 0.013),
+    mean_size: float = 0.004,
+    payload_bytes: int = 0,
+    seed: int = 0,
+) -> list[BoxObject]:
+    """Clustered axis-aligned rectangles (area features as MBRs)."""
+    rng = np.random.default_rng(seed)
+    xs, ys = _cluster_centers(n, mbr, n_clusters, std_range, rng)
+    ws = _sizes(n, mean_size, rng)
+    hs = _sizes(n, mean_size, rng)
+    out = []
+    for i in range(n):
+        x0 = max(mbr.xmin, xs[i] - ws[i] / 2)
+        y0 = max(mbr.ymin, ys[i] - hs[i] / 2)
+        x1 = min(mbr.xmax, xs[i] + ws[i] / 2)
+        y1 = min(mbr.ymax, ys[i] + hs[i] / 2)
+        out.append(BoxObject(i, MBR(x0, y0, max(x1, x0), max(y1, y0)), side, payload_bytes))
+    return out
+
+
+def random_polygons(
+    n: int,
+    side: Side,
+    mbr: MBR = UNIT_MBR,
+    n_clusters: int = 30,
+    std_range: tuple[float, float] = (0.002, 0.013),
+    mean_size: float = 0.004,
+    vertices: tuple[int, int] = (4, 9),
+    payload_bytes: int = 0,
+    seed: int = 0,
+) -> list[PolygonObject]:
+    """Clustered star-convex polygons (parks, lakes).
+
+    Each polygon is built by walking angles around its centre with jittered
+    radii -- simple (non-self-intersecting) by construction.
+    """
+    rng = np.random.default_rng(seed)
+    xs, ys = _cluster_centers(n, mbr, n_clusters, std_range, rng)
+    diameters = _sizes(n, mean_size, rng)
+    out = []
+    for i in range(n):
+        k = int(rng.integers(vertices[0], vertices[1] + 1))
+        angles = np.sort(rng.uniform(0, 2 * math.pi, k))
+        radii = diameters[i] / 2 * rng.uniform(0.5, 1.0, k)
+        # clamp the centre so the ring fits without vertex clipping --
+        # clipping could fold edges over each other and break simplicity
+        r_max = float(radii.max())
+        cx = float(np.clip(xs[i], mbr.xmin + r_max, mbr.xmax - r_max))
+        cy = float(np.clip(ys[i], mbr.ymin + r_max, mbr.ymax - r_max))
+        ring = [
+            (cx + rr * math.cos(a), cy + rr * math.sin(a))
+            for a, rr in zip(angles, radii)
+        ]
+        out.append(PolygonObject(i, ring, side, payload_bytes))
+    return out
+
+
+def random_polylines(
+    n: int,
+    side: Side,
+    mbr: MBR = UNIT_MBR,
+    n_clusters: int = 30,
+    std_range: tuple[float, float] = (0.002, 0.013),
+    mean_size: float = 0.006,
+    segments: tuple[int, int] = (2, 6),
+    payload_bytes: int = 0,
+    seed: int = 0,
+) -> list[PolylineObject]:
+    """Clustered random-walk polylines (roads, rivers, trajectories)."""
+    rng = np.random.default_rng(seed)
+    xs, ys = _cluster_centers(n, mbr, n_clusters, std_range, rng)
+    lengths = _sizes(n, mean_size, rng)
+    out = []
+    for i in range(n):
+        k = int(rng.integers(segments[0], segments[1] + 1))
+        step = lengths[i] / k
+        heading = rng.uniform(0, 2 * math.pi)
+        px, py = float(xs[i]), float(ys[i])
+        pts = [(px, py)]
+        for _ in range(k):
+            heading += rng.normal(0, 0.6)
+            px = float(np.clip(px + step * math.cos(heading), mbr.xmin, mbr.xmax))
+            py = float(np.clip(py + step * math.sin(heading), mbr.ymin, mbr.ymax))
+            pts.append((px, py))
+        out.append(PolylineObject(i, pts, side, payload_bytes))
+    return out

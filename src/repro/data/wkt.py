@@ -1,0 +1,132 @@
+"""Well-Known Text (WKT) reading and writing.
+
+The paper's real datasets (TIGER hydrography, OSM parks) are distributed
+as WKT geometries; this module parses and serializes the subset the
+library joins over -- ``POINT``, ``LINESTRING`` and ``POLYGON`` (single
+outer ring) -- and converts between WKT files and the library's
+:class:`~repro.data.pointset.PointSet` / spatial-object collections.
+
+Format notes: coordinate pairs are ``x y`` separated by commas; polygon
+rings repeat their first vertex at the end (the closing vertex is
+dropped on parse and re-added on write).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.pointset import PointSet
+from repro.geometry.objects import (
+    PolygonObject,
+    PolylineObject,
+    SpatialObject,
+)
+from repro.geometry.point import Side
+
+_NUMBER = r"[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?"
+_POINT_RE = re.compile(rf"^POINT\s*\(\s*({_NUMBER})\s+({_NUMBER})\s*\)$")
+_LINESTRING_RE = re.compile(r"^LINESTRING\s*\((.*)\)$")
+_POLYGON_RE = re.compile(r"^POLYGON\s*\(\s*\((.*)\)\s*\)$")
+
+
+class WKTError(ValueError):
+    """Raised for malformed WKT input."""
+
+
+def _parse_coords(body: str) -> list[tuple[float, float]]:
+    pairs = []
+    for token in body.split(","):
+        parts = token.split()
+        if len(parts) != 2:
+            raise WKTError(f"bad coordinate pair {token.strip()!r}")
+        pairs.append((float(parts[0]), float(parts[1])))
+    return pairs
+
+
+def parse_wkt(text: str, pid: int = 0, side: Side = Side.R):
+    """Parse one WKT geometry.
+
+    Returns a ``(x, y)`` tuple for POINT, or a
+    :class:`~repro.geometry.objects.SpatialObject` for LINESTRING/POLYGON.
+    """
+    text = text.strip()
+    m = _POINT_RE.match(text)
+    if m:
+        return (float(m.group(1)), float(m.group(2)))
+    m = _LINESTRING_RE.match(text)
+    if m:
+        return PolylineObject(pid, _parse_coords(m.group(1)), side)
+    m = _POLYGON_RE.match(text)
+    if m:
+        ring = _parse_coords(m.group(1))
+        if len(ring) >= 2 and ring[0] == ring[-1]:
+            ring = ring[:-1]
+        if len(ring) < 3:
+            raise WKTError("polygon ring needs at least three distinct vertices")
+        return PolygonObject(pid, ring, side)
+    raise WKTError(f"unsupported or malformed WKT: {text[:60]!r}")
+
+
+def to_wkt(geometry) -> str:
+    """Serialize a point tuple or a spatial object to WKT."""
+    if isinstance(geometry, tuple) and len(geometry) == 2:
+        return f"POINT ({geometry[0]!r} {geometry[1]!r})"
+    if isinstance(geometry, PolylineObject):
+        body = ", ".join(f"{x!r} {y!r}" for x, y in geometry.points)
+        return f"LINESTRING ({body})"
+    if isinstance(geometry, PolygonObject):
+        ring = geometry.ring + [geometry.ring[0]]
+        body = ", ".join(f"{x!r} {y!r}" for x, y in ring)
+        return f"POLYGON (({body}))"
+    raise TypeError(f"cannot serialize {type(geometry).__name__} to WKT")
+
+
+def read_points_wkt(path: str, payload_bytes: int = 0, name: str = "") -> PointSet:
+    """Read a file of WKT POINT lines into a :class:`PointSet`."""
+    xs, ys = [], []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            geom = parse_wkt(line)
+            if not isinstance(geom, tuple):
+                raise WKTError(f"{path}:{lineno}: expected POINT, got {line[:30]!r}")
+            xs.append(geom[0])
+            ys.append(geom[1])
+    return PointSet(np.asarray(xs), np.asarray(ys), payload_bytes=payload_bytes, name=name)
+
+
+def write_points_wkt(points: PointSet, path: str) -> None:
+    """Write a :class:`PointSet` as one WKT POINT per line."""
+    with open(path, "w") as f:
+        for x, y in zip(points.xs, points.ys):
+            f.write(to_wkt((float(x), float(y))) + "\n")
+
+
+def read_objects_wkt(
+    path: str, side: Side, payload_bytes: int = 0
+) -> list[SpatialObject]:
+    """Read LINESTRING/POLYGON lines as spatial objects (ids = line order)."""
+    out: list[SpatialObject] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            geom = parse_wkt(line, pid=len(out), side=side)
+            if isinstance(geom, tuple):
+                raise WKTError("use read_points_wkt for POINT files")
+            geom.payload_bytes = payload_bytes
+            out.append(geom)
+    return out
+
+
+def write_objects_wkt(objects: Sequence[SpatialObject], path: str) -> None:
+    """Write spatial objects as one WKT geometry per line."""
+    with open(path, "w") as f:
+        for obj in objects:
+            f.write(to_wkt(obj) + "\n")

@@ -1,0 +1,35 @@
+"""A deterministic in-process substitute for the paper's Spark cluster.
+
+The paper evaluates on a 12-executor Spark/YARN deployment.  This engine
+reproduces the *measurable behaviour* of that substrate: datasets split
+into partitions across workers, a key-based shuffle whose remote-read
+bytes are accounted exactly, pluggable cell-to-worker assignment (hash or
+LPT), and a per-worker cost model that yields a makespan -- the modelled
+execution time used by the benchmark figures.
+"""
+
+from repro.engine.cluster import SimCluster, Worker
+from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
+from repro.engine.partitioner import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    Partitioner,
+)
+from repro.engine.lpt import lpt_assignment
+from repro.engine.shuffle import ShuffleStats
+from repro.engine.rdd import SimPairRDD, SimRDD
+
+__all__ = [
+    "CostModel",
+    "ExplicitPartitioner",
+    "HashPartitioner",
+    "JoinMetrics",
+    "Partitioner",
+    "PhaseTimer",
+    "ShuffleStats",
+    "SimCluster",
+    "SimPairRDD",
+    "SimRDD",
+    "Worker",
+    "lpt_assignment",
+]

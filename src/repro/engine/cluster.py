@@ -1,0 +1,65 @@
+"""The simulated cluster: workers, placement, and modelled clocks.
+
+Placement follows Spark's defaults: input splits and reduce partitions are
+spread over workers round-robin.  Every worker owns a set of modelled
+clocks (one per job phase); a phase's modelled duration is its *makespan*,
+the maximum clock over workers, because the paper's Spark stages cannot
+finish before their slowest task.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.engine.metrics import CostModel
+
+
+@dataclass
+class Worker:
+    """One simulated executor."""
+
+    worker_id: int
+    clocks: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.clocks[phase] += seconds
+
+    def total(self, phases: tuple[str, ...] | None = None) -> float:
+        if phases is None:
+            return sum(self.clocks.values())
+        return sum(self.clocks.get(p, 0.0) for p in phases)
+
+
+class SimCluster:
+    """A fixed-size pool of simulated workers."""
+
+    def __init__(self, num_workers: int, cost_model: CostModel | None = None):
+        if num_workers <= 0:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.cost_model = cost_model or CostModel()
+        self.workers = [Worker(i) for i in range(num_workers)]
+
+    def worker_of_partition(self, partition: int) -> int:
+        """Round-robin placement of reduce partitions on workers."""
+        return partition % self.num_workers
+
+    def worker_of_split(self, split: int) -> int:
+        """Round-robin placement of input splits on workers."""
+        return split % self.num_workers
+
+    def add_cost(self, worker_id: int, phase: str, seconds: float) -> None:
+        self.workers[worker_id].add(phase, seconds)
+
+    def phase_makespan(self, *phases: str) -> float:
+        """Slowest worker over the given phases."""
+        return max(w.total(phases) for w in self.workers)
+
+    def phase_loads(self, *phases: str) -> list[float]:
+        """Per-worker modelled cost over the given phases."""
+        return [w.total(phases) for w in self.workers]
+
+    def reset(self) -> None:
+        for w in self.workers:
+            w.clocks.clear()

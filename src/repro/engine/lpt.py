@@ -1,0 +1,44 @@
+"""LPT (Longest Processing Time) assignment of cells to partitions.
+
+The optimization problem of Sect. 6.2 -- minimize the maximum join cost
+per worker -- is the NP-hard multiprocessor scheduling problem; the paper
+uses the classic LPT greedy: process cells in descending estimated cost
+and always give the next cell to the least-loaded partition.  The cost of
+a cell is the estimated number of join-result candidates ``|R_i| * |S_i|``
+derived from the sample.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping
+
+
+def lpt_assignment(
+    costs: Mapping[int, float], num_partitions: int
+) -> dict[int, int]:
+    """Greedy LPT mapping of keys to ``num_partitions`` partitions.
+
+    Returns a dict ``key -> partition``.  Deterministic: ties in cost are
+    broken by key, ties in load by partition index (via the heap).
+    """
+    if num_partitions <= 0:
+        raise ValueError("need at least one partition")
+    heap = [(0.0, p) for p in range(num_partitions)]
+    heapq.heapify(heap)
+    assignment: dict[int, int] = {}
+    for key, cost in sorted(costs.items(), key=lambda kv: (-kv[1], kv[0])):
+        load, part = heapq.heappop(heap)
+        assignment[key] = part
+        heapq.heappush(heap, (load + cost, part))
+    return assignment
+
+
+def makespan(
+    costs: Mapping[int, float], assignment: Mapping[int, int], num_partitions: int
+) -> list[float]:
+    """Per-partition total cost under an assignment."""
+    loads = [0.0] * num_partitions
+    for key, cost in costs.items():
+        loads[assignment[key]] += cost
+    return loads

@@ -1,0 +1,278 @@
+"""A compact Spark-like RDD layer over the simulated cluster.
+
+This mirrors the subset of the RDD API that Algorithm 5 of the paper uses
+-- ``textFile``/``parallelize``, ``map``, ``flatMapToPair``, ``sample``,
+``join``, ``filter``, ``distinct`` -- with partitions placed round-robin
+on simulated workers and every shuffle accounted through
+:class:`~repro.engine.shuffle.ShuffleStats`.
+
+The high-throughput join driver (:mod:`repro.joins.distance_join`)
+performs the same computation vectorized; this layer exists so the
+pipeline can also be written exactly like the paper's Spark program (see
+``examples/spark_style_pipeline.py``) and is tested for agreement with
+the vectorized driver.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable
+
+from repro.engine.cluster import SimCluster
+from repro.engine.partitioner import HashPartitioner, Partitioner
+from repro.engine.shuffle import KEY_BYTES, ShuffleStats
+
+
+def default_record_bytes(value: Any) -> int:
+    """Modelled serialized size of an arbitrary record."""
+    if hasattr(value, "serialized_bytes"):
+        return int(value.serialized_bytes())
+    if isinstance(value, tuple):
+        return sum(default_record_bytes(v) for v in value)
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode())
+    return 16
+
+
+class SimRDD:
+    """An eager, partitioned collection on the simulated cluster."""
+
+    def __init__(self, cluster: SimCluster, partitions: list[list]):
+        if not partitions:
+            partitions = [[]]
+        self.cluster = cluster
+        self.partitions = partitions
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parallelize(
+        cls, cluster: SimCluster, items: Iterable, num_partitions: int | None = None
+    ) -> "SimRDD":
+        items = list(items)
+        n = num_partitions or cluster.num_workers
+        parts: list[list] = [[] for _ in range(n)]
+        for i, item in enumerate(items):
+            parts[i % n].append(item)
+        return cls(cluster, parts)
+
+    @classmethod
+    def text_file(
+        cls,
+        cluster: SimCluster,
+        path: str,
+        num_partitions: int | None = None,
+    ) -> "SimRDD":
+        """Load a text file as an RDD of lines (the ``sc.textFile`` analog)."""
+        with open(path) as f:
+            lines = [line.rstrip("\n") for line in f]
+        return cls.parallelize(cluster, lines, num_partitions)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def map(self, fn: Callable[[Any], Any]) -> "SimRDD":
+        return SimRDD(self.cluster, [[fn(x) for x in p] for p in self.partitions])
+
+    def flat_map(self, fn: Callable[[Any], Iterable]) -> "SimRDD":
+        return SimRDD(
+            self.cluster, [[y for x in p for y in fn(x)] for p in self.partitions]
+        )
+
+    def filter(self, fn: Callable[[Any], bool]) -> "SimRDD":
+        return SimRDD(self.cluster, [[x for x in p if fn(x)] for p in self.partitions])
+
+    def sample(self, fraction: float, seed: int = 0) -> "SimRDD":
+        """Bernoulli sample of the RDD (Spark's ``sample`` without replacement)."""
+        rng = random.Random(seed)
+        return SimRDD(
+            self.cluster,
+            [[x for x in p if rng.random() < fraction] for p in self.partitions],
+        )
+
+    def flat_map_to_pair(self, fn: Callable[[Any], Iterable[tuple]]) -> "SimPairRDD":
+        """Emit zero or more ``(key, value)`` pairs per element."""
+        return SimPairRDD(
+            self.cluster, [[kv for x in p for kv in fn(x)] for p in self.partitions]
+        )
+
+    def map_partitions(self, fn: Callable[[list], Iterable]) -> "SimRDD":
+        """Apply ``fn`` to each whole partition (Spark's ``mapPartitions``)."""
+        return SimRDD(self.cluster, [list(fn(p)) for p in self.partitions])
+
+    def union(self, other: "SimRDD") -> "SimRDD":
+        """Concatenate two RDDs partition-wise (no shuffle)."""
+        return SimRDD(self.cluster, self.partitions + other.partitions)
+
+    def glom(self) -> "SimRDD":
+        """Each partition becomes a single list element."""
+        return SimRDD(self.cluster, [[list(p)] for p in self.partitions])
+
+    def sort_by(self, key: Callable[[Any], Any]) -> "SimRDD":
+        """Globally sort; the result is range-partitioned like Spark's
+        ``sortBy`` (contiguous runs per partition)."""
+        items = sorted(self.collect(), key=key)
+        n = max(self.num_partitions, 1)
+        size = max(1, -(-len(items) // n))
+        parts = [items[i : i + size] for i in range(0, len(items), size)]
+        return SimRDD(self.cluster, parts or [[]])
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "SimPairRDD":
+        return SimPairRDD(
+            self.cluster, [[(fn(x), x) for x in p] for p in self.partitions]
+        )
+
+    def distinct(
+        self,
+        shuffle: ShuffleStats | None = None,
+        num_partitions: int | None = None,
+        record_bytes: Callable[[Any], int] = default_record_bytes,
+    ) -> "SimRDD":
+        """Shuffle-based deduplication (the paper's post-join ``distinct``)."""
+        n = num_partitions or self.num_partitions
+        parts: list[list] = [[] for _ in range(n)]
+        cluster = self.cluster
+        for src_idx, part in enumerate(self.partitions):
+            src_w = cluster.worker_of_partition(src_idx)
+            for x in part:
+                dst = hash(x) % n
+                if shuffle is not None:
+                    shuffle.add_single(
+                        src_w, cluster.worker_of_partition(dst), record_bytes(x)
+                    )
+                parts[dst].append(x)
+        deduped = [list(dict.fromkeys(p)) for p in parts]
+        return SimRDD(cluster, deduped)
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def collect(self) -> list:
+        return [x for p in self.partitions for x in p]
+
+    def count(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def foreach(self, fn: Callable[[Any], None]) -> None:
+        for p in self.partitions:
+            for x in p:
+                fn(x)
+
+
+class SimPairRDD(SimRDD):
+    """An RDD of ``(key, value)`` pairs."""
+
+    def partition_by(
+        self,
+        partitioner: Partitioner,
+        shuffle: ShuffleStats | None = None,
+        record_bytes: Callable[[Any], int] = default_record_bytes,
+    ) -> "SimPairRDD":
+        """Shuffle the pairs so each key lands in its target partition."""
+        n = partitioner.num_partitions
+        parts: list[list] = [[] for _ in range(n)]
+        cluster = self.cluster
+        for src_idx, part in enumerate(self.partitions):
+            src_w = cluster.worker_of_partition(src_idx)
+            for key, value in part:
+                dst = partitioner.of(key)
+                if shuffle is not None:
+                    shuffle.add_single(
+                        src_w,
+                        cluster.worker_of_partition(dst),
+                        KEY_BYTES + record_bytes(value),
+                    )
+                parts[dst].append((key, value))
+        return SimPairRDD(cluster, parts)
+
+    def join(
+        self,
+        other: "SimPairRDD",
+        partitioner: Partitioner | None = None,
+        shuffle: ShuffleStats | None = None,
+        record_bytes: Callable[[Any], int] = default_record_bytes,
+    ) -> "SimRDD":
+        """Inner equi-join on keys; both sides are shuffled first.
+
+        Yields ``(key, (left_value, right_value))`` tuples, like Spark.
+        """
+        partitioner = partitioner or HashPartitioner(
+            max(self.num_partitions, other.num_partitions)
+        )
+        left = self.partition_by(partitioner, shuffle, record_bytes)
+        right = other.partition_by(partitioner, shuffle, record_bytes)
+        out_parts: list[list] = []
+        for lpart, rpart in zip(left.partitions, right.partitions):
+            table: dict[Any, list] = {}
+            for key, value in lpart:
+                table.setdefault(key, []).append(value)
+            out: list = []
+            for key, rvalue in rpart:
+                for lvalue in table.get(key, ()):
+                    out.append((key, (lvalue, rvalue)))
+            out_parts.append(out)
+        return SimRDD(self.cluster, out_parts)
+
+    def group_by_key(
+        self,
+        partitioner: Partitioner | None = None,
+        shuffle: ShuffleStats | None = None,
+    ) -> "SimPairRDD":
+        partitioner = partitioner or HashPartitioner(self.num_partitions)
+        shuffled = self.partition_by(partitioner, shuffle)
+        out_parts: list[list] = []
+        for part in shuffled.partitions:
+            table: dict[Any, list] = {}
+            for key, value in part:
+                table.setdefault(key, []).append(value)
+            out_parts.append(list(table.items()))
+        return SimPairRDD(self.cluster, out_parts)
+
+    def values(self) -> "SimRDD":
+        return SimRDD(self.cluster, [[v for _k, v in p] for p in self.partitions])
+
+    def keys(self) -> "SimRDD":
+        return SimRDD(self.cluster, [[k for k, _v in p] for p in self.partitions])
+
+    def reduce_by_key(
+        self,
+        fn: Callable[[Any, Any], Any],
+        partitioner: Partitioner | None = None,
+        shuffle: ShuffleStats | None = None,
+    ) -> "SimPairRDD":
+        """Combine values per key (map-side pre-aggregation, then shuffle).
+
+        Like Spark, values are pre-combined within each map partition so
+        the shuffle moves one record per (partition, key).
+        """
+        combined_parts: list[list] = []
+        for part in self.partitions:
+            acc: dict[Any, Any] = {}
+            for key, value in part:
+                acc[key] = fn(acc[key], value) if key in acc else value
+            combined_parts.append(list(acc.items()))
+        pre = SimPairRDD(self.cluster, combined_parts)
+        partitioner = partitioner or HashPartitioner(self.num_partitions)
+        shuffled = pre.partition_by(partitioner, shuffle)
+        out_parts: list[list] = []
+        for part in shuffled.partitions:
+            acc = {}
+            for key, value in part:
+                acc[key] = fn(acc[key], value) if key in acc else value
+            out_parts.append(list(acc.items()))
+        return SimPairRDD(self.cluster, out_parts)
+
+    def count_by_key(self) -> dict:
+        """Counts per key, collected to the driver."""
+        counts: dict[Any, int] = {}
+        for part in self.partitions:
+            for key, _value in part:
+                counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,56 @@
+"""Shuffle accounting: record and byte volumes, local vs remote.
+
+During a shuffle every emitted ``(key, tuple)`` record travels from the
+map worker holding the input split to the reduce worker owning the key's
+partition.  Records whose source and destination workers differ are
+*remote reads* -- the quantity Figs. 11, 13b, 14b and 16-18a of the paper
+report.  The accounting here is exact given the record-size model
+(24 bytes of id+coordinates, plus payload, plus key overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Modelled serialized size of the shuffle key (the 1-d cell id).
+KEY_BYTES = 8
+
+
+@dataclass
+class ShuffleStats:
+    """Accumulated shuffle volumes for one job."""
+
+    records: int = 0
+    bytes: int = 0
+    remote_records: int = 0
+    remote_bytes: int = 0
+
+    def add_transfers(
+        self,
+        src_workers: np.ndarray,
+        dst_workers: np.ndarray,
+        record_bytes: int,
+    ) -> None:
+        """Account a batch of equally-sized records."""
+        n = len(src_workers)
+        remote = int(np.count_nonzero(src_workers != dst_workers))
+        self.records += n
+        self.bytes += n * record_bytes
+        self.remote_records += remote
+        self.remote_bytes += remote * record_bytes
+
+    def add_single(self, src_worker: int, dst_worker: int, record_bytes: int) -> None:
+        """Account one record."""
+        self.records += 1
+        self.bytes += record_bytes
+        if src_worker != dst_worker:
+            self.remote_records += 1
+            self.remote_bytes += record_bytes
+
+    def merge(self, other: "ShuffleStats") -> None:
+        self.records += other.records
+        self.bytes += other.bytes
+        self.remote_records += other.remote_records
+        self.remote_bytes += other.remote_bytes

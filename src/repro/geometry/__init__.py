@@ -1,0 +1,32 @@
+"""Geometric primitives: points, rectangles, and distance predicates."""
+
+from repro.geometry.point import Side, SpatialPoint
+from repro.geometry.mbr import MBR
+from repro.geometry.distance import (
+    euclidean,
+    euclidean_sq,
+    mindist_point_rect,
+    within_eps,
+)
+from repro.geometry.objects import (
+    BoxObject,
+    PolygonObject,
+    PolylineObject,
+    SpatialObject,
+    objects_intersect,
+)
+
+__all__ = [
+    "BoxObject",
+    "MBR",
+    "PolygonObject",
+    "PolylineObject",
+    "Side",
+    "SpatialObject",
+    "SpatialPoint",
+    "euclidean",
+    "euclidean_sq",
+    "mindist_point_rect",
+    "objects_intersect",
+    "within_eps",
+]

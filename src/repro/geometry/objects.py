@@ -1,0 +1,281 @@
+"""Spatial objects with extent: boxes, polylines and simple polygons.
+
+The paper's Sect. 8 names extending the graph of agreements to polygons
+and polylines as future work.  This module supplies the object geometry:
+every object exposes its MBR, a representative point (used as the
+object's grid anchor), a radius (the farthest boundary point from the
+anchor), an exact distance to any other object, and an intersection test.
+
+Exact object distance underpins the refinement step of the object joins
+(:mod:`repro.joins.object_join`); the MBR gives the cheap filter.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.geometry.segment import (
+    point_segment_distance_sq,
+    segment_segment_distance_sq,
+    segments_intersect,
+)
+
+
+class SpatialObject(abc.ABC):
+    """A 2-d object participating in an object join."""
+
+    __slots__ = ("pid", "side", "payload_bytes")
+
+    def __init__(self, pid: int, side: Side, payload_bytes: int = 0):
+        self.pid = pid
+        self.side = side
+        self.payload_bytes = payload_bytes
+
+    @abc.abstractmethod
+    def mbr(self) -> MBR:
+        """The object's bounding rectangle."""
+
+    @abc.abstractmethod
+    def anchor(self) -> tuple[float, float]:
+        """The representative point that anchors the object to a grid cell."""
+
+    def radius(self) -> float:
+        """Largest distance from the anchor to any point of the object."""
+        ax, ay = self.anchor()
+        m = self.mbr()
+        return max(
+            math.hypot(cx - ax, cy - ay)
+            for cx in (m.xmin, m.xmax)
+            for cy in (m.ymin, m.ymax)
+        )
+
+    @abc.abstractmethod
+    def distance_to(self, other: "SpatialObject") -> float:
+        """Exact minimum distance between the two objects (0 if they meet)."""
+
+    def intersects(self, other: "SpatialObject") -> bool:
+        """Whether the objects share at least one point."""
+        return self.distance_to(other) == 0.0
+
+    def serialized_bytes(self) -> int:
+        """Modelled on-the-wire size (id + geometry + payload)."""
+        return 8 + 16 * max(1, len(self._coords())) + self.payload_bytes
+
+    @abc.abstractmethod
+    def _coords(self) -> Sequence[tuple[float, float]]:
+        """The defining coordinates (for size modelling)."""
+
+
+class BoxObject(SpatialObject):
+    """An axis-aligned rectangle (the MBR approximation of area features)."""
+
+    __slots__ = ("box",)
+
+    def __init__(self, pid: int, box: MBR, side: Side, payload_bytes: int = 0):
+        super().__init__(pid, side, payload_bytes)
+        self.box = box
+
+    def mbr(self) -> MBR:
+        return self.box
+
+    def anchor(self) -> tuple[float, float]:
+        return self.box.center
+
+    def distance_to(self, other: SpatialObject) -> float:
+        if isinstance(other, BoxObject):
+            dx = max(self.box.xmin - other.box.xmax, other.box.xmin - self.box.xmax, 0.0)
+            dy = max(self.box.ymin - other.box.ymax, other.box.ymin - self.box.ymax, 0.0)
+            return math.hypot(dx, dy)
+        return other.distance_to(self)
+
+    def intersects(self, other: SpatialObject) -> bool:
+        if isinstance(other, BoxObject):
+            return self.box.intersects(other.box)
+        return other.intersects(self)
+
+    def corners(self) -> list[tuple[float, float]]:
+        b = self.box
+        return [(b.xmin, b.ymin), (b.xmax, b.ymin), (b.xmax, b.ymax), (b.xmin, b.ymax)]
+
+    def edges(self):
+        pts = self.corners()
+        for i in range(4):
+            yield (*pts[i], *pts[(i + 1) % 4])
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.box.contains_point(x, y)
+
+    def _coords(self):
+        return [(self.box.xmin, self.box.ymin), (self.box.xmax, self.box.ymax)]
+
+
+class PolylineObject(SpatialObject):
+    """An open chain of segments (roads, rivers, trajectories)."""
+
+    __slots__ = ("points", "_mbr")
+
+    def __init__(
+        self,
+        pid: int,
+        points: Sequence[tuple[float, float]],
+        side: Side,
+        payload_bytes: int = 0,
+    ):
+        if len(points) < 2:
+            raise ValueError("a polyline needs at least two points")
+        super().__init__(pid, side, payload_bytes)
+        self.points = [(float(x), float(y)) for x, y in points]
+        self._mbr = MBR.of_points(
+            [p[0] for p in self.points], [p[1] for p in self.points]
+        )
+
+    def mbr(self) -> MBR:
+        return self._mbr
+
+    def anchor(self) -> tuple[float, float]:
+        return self._mbr.center
+
+    def edges(self):
+        for (ax, ay), (bx, by) in zip(self.points, self.points[1:]):
+            yield (ax, ay, bx, by)
+
+    def distance_to(self, other: SpatialObject) -> float:
+        return _boundary_distance(self, other)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return False  # a polyline has no interior
+
+    def _coords(self):
+        return self.points
+
+
+class PolygonObject(SpatialObject):
+    """A simple polygon given by its boundary ring (no self-intersections)."""
+
+    __slots__ = ("ring", "_mbr")
+
+    def __init__(
+        self,
+        pid: int,
+        ring: Sequence[tuple[float, float]],
+        side: Side,
+        payload_bytes: int = 0,
+    ):
+        if len(ring) < 3:
+            raise ValueError("a polygon needs at least three vertices")
+        super().__init__(pid, side, payload_bytes)
+        self.ring = [(float(x), float(y)) for x, y in ring]
+        self._mbr = MBR.of_points([p[0] for p in self.ring], [p[1] for p in self.ring])
+
+    def mbr(self) -> MBR:
+        return self._mbr
+
+    def anchor(self) -> tuple[float, float]:
+        return self._mbr.center
+
+    def edges(self):
+        n = len(self.ring)
+        for i in range(n):
+            ax, ay = self.ring[i]
+            bx, by = self.ring[(i + 1) % n]
+            yield (ax, ay, bx, by)
+
+    def area(self) -> float:
+        """Unsigned polygon area (shoelace)."""
+        total = 0.0
+        n = len(self.ring)
+        for i in range(n):
+            ax, ay = self.ring[i]
+            bx, by = self.ring[(i + 1) % n]
+            total += ax * by - bx * ay
+        return abs(total) / 2.0
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Ray-casting point-in-polygon (boundary counts as inside)."""
+        for ax, ay, bx, by in self.edges():
+            if point_segment_distance_sq(x, y, ax, ay, bx, by) == 0.0:
+                return True
+        inside = False
+        n = len(self.ring)
+        j = n - 1
+        for i in range(n):
+            xi, yi = self.ring[i]
+            xj, yj = self.ring[j]
+            if (yi > y) != (yj > y):
+                x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+                if x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def distance_to(self, other: SpatialObject) -> float:
+        return _boundary_distance(self, other)
+
+    def _coords(self):
+        return self.ring
+
+
+def _first_point(obj: SpatialObject) -> tuple[float, float]:
+    if isinstance(obj, BoxObject):
+        return (obj.box.xmin, obj.box.ymin)
+    if isinstance(obj, PolylineObject):
+        return obj.points[0]
+    if isinstance(obj, PolygonObject):
+        return obj.ring[0]
+    raise TypeError(f"unsupported object type {type(obj).__name__}")
+
+
+def _edges_of(obj: SpatialObject):
+    if isinstance(obj, (BoxObject, PolylineObject, PolygonObject)):
+        return list(obj.edges())
+    raise TypeError(f"unsupported object type {type(obj).__name__}")
+
+
+def _contains(obj: SpatialObject, x: float, y: float) -> bool:
+    if isinstance(obj, (BoxObject, PolygonObject, PolylineObject)):
+        return obj.contains_point(x, y)
+    raise TypeError(f"unsupported object type {type(obj).__name__}")
+
+
+def _boundary_distance(a: SpatialObject, b: SpatialObject) -> float:
+    """Exact distance between two objects via their boundaries.
+
+    Handles containment: if one object's first vertex lies inside the
+    other (and the other has an interior), the distance is zero.
+    """
+    ax, ay = _first_point(a)
+    bx, by = _first_point(b)
+    if _contains(a, bx, by) or _contains(b, ax, ay):
+        return 0.0
+    best = math.inf
+    edges_b = _edges_of(b)
+    for ea in _edges_of(a):
+        for eb in edges_b:
+            d = segment_segment_distance_sq(*ea, *eb)
+            if d < best:
+                best = d
+                if best == 0.0:
+                    return 0.0
+    return math.sqrt(best)
+
+
+def objects_intersect(a: SpatialObject, b: SpatialObject) -> bool:
+    """Whether two objects share a point (boundary or interior)."""
+    if not a.mbr().intersects(b.mbr()):
+        return False
+    if isinstance(a, BoxObject) and isinstance(b, BoxObject):
+        return True  # MBR intersection is exact for boxes
+    ax, ay = _first_point(a)
+    bx, by = _first_point(b)
+    if _contains(a, bx, by) or _contains(b, ax, ay):
+        return True
+    edges_b = _edges_of(b)
+    for ea in _edges_of(a):
+        for eb in edges_b:
+            if segments_intersect(*ea, *eb):
+                return True
+    return False

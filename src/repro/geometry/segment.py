@@ -1,0 +1,74 @@
+"""Line-segment geometry: distances and intersection tests.
+
+These primitives back the polygon/polyline support (the paper's Sect. 8
+extension to objects with extent): exact object distances reduce to
+minimum distances between boundary segments, and polygon intersection
+tests reduce to segment crossings plus containment.
+"""
+
+from __future__ import annotations
+
+
+def point_segment_distance_sq(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Squared distance from point ``p`` to segment ``a-b``."""
+    abx, aby = bx - ax, by - ay
+    apx, apy = px - ax, py - ay
+    denom = abx * abx + aby * aby
+    if denom == 0.0:  # degenerate segment
+        return apx * apx + apy * apy
+    t = (apx * abx + apy * aby) / denom
+    t = 0.0 if t < 0.0 else (1.0 if t > 1.0 else t)
+    dx = px - (ax + t * abx)
+    dy = py - (ay + t * aby)
+    return dx * dx + dy * dy
+
+
+def _orient(ax, ay, bx, by, cx, cy) -> float:
+    """Twice the signed area of triangle abc."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def _on_segment(ax, ay, bx, by, px, py) -> bool:
+    """Whether collinear point ``p`` lies within segment ``a-b``'s box."""
+    return (
+        min(ax, bx) <= px <= max(ax, bx) and min(ay, by) <= py <= max(ay, by)
+    )
+
+
+def segments_intersect(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> bool:
+    """Whether closed segments ``a-b`` and ``c-d`` share a point."""
+    d1 = _orient(cx, cy, dx, dy, ax, ay)
+    d2 = _orient(cx, cy, dx, dy, bx, by)
+    d3 = _orient(ax, ay, bx, by, cx, cy)
+    d4 = _orient(ax, ay, bx, by, dx, dy)
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)) and d1 != 0 and d2 != 0 and d3 != 0 and d4 != 0:
+        return True
+    if d1 == 0 and _on_segment(cx, cy, dx, dy, ax, ay):
+        return True
+    if d2 == 0 and _on_segment(cx, cy, dx, dy, bx, by):
+        return True
+    if d3 == 0 and _on_segment(ax, ay, bx, by, cx, cy):
+        return True
+    if d4 == 0 and _on_segment(ax, ay, bx, by, dx, dy):
+        return True
+    return False
+
+
+def segment_segment_distance_sq(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> float:
+    """Squared minimum distance between closed segments."""
+    if segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+        return 0.0
+    return min(
+        point_segment_distance_sq(ax, ay, cx, cy, dx, dy),
+        point_segment_distance_sq(bx, by, cx, cy, dx, dy),
+        point_segment_distance_sq(cx, cy, ax, ay, bx, by),
+        point_segment_distance_sq(dx, dy, ax, ay, bx, by),
+    )

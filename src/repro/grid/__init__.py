@@ -1,0 +1,13 @@
+"""Regular-grid space partitioning (Sect. 4.1 of the paper)."""
+
+from repro.grid.grid import Grid
+from repro.grid.areas import AreaKind, AreaInfo, classify_point
+from repro.grid.statistics import GridStatistics
+
+__all__ = [
+    "AreaInfo",
+    "AreaKind",
+    "Grid",
+    "GridStatistics",
+    "classify_point",
+]

@@ -1,0 +1,110 @@
+"""Classification of a point into the replication areas of its cell.
+
+Figure 9 of the paper distinguishes three kinds of areas inside a cell:
+
+* the **no-replication area** (the cell interior, farther than ``eps`` from
+  every border shared with another cell),
+* the four **plain replication areas** (within ``eps`` of exactly one shared
+  border), and
+* the four **merged duplicate-prone areas** (the ``eps x eps`` squares at the
+  cell corners, within ``eps`` of two shared borders at once); each such
+  square belongs to one quartet of cells.
+
+Borders on the outer boundary of the grid are ignored: there is no
+neighbouring cell to replicate to.  Because every cell side exceeds
+``2 * eps``, a point can be near at most one vertical and one horizontal
+border, so the classification below is unambiguous.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry.distance import euclidean
+from repro.grid.grid import Grid
+
+
+class AreaKind(enum.Enum):
+    """Which of the Fig. 9 areas a point falls into."""
+
+    NO_REPLICATION = "no-replication"
+    PLAIN = "plain"
+    MERGED_DUPLICATE_PRONE = "merged-duplicate-prone"
+
+
+@dataclass(frozen=True)
+class AreaInfo:
+    """Result of classifying one point against the grid.
+
+    Attributes:
+        kind: the area kind.
+        cx, cy: index of the native cell.
+        near_x: ``+1`` if the point is within ``eps`` of the east border
+            (and an east neighbour exists), ``-1`` for west, ``0`` otherwise.
+        near_y: same for north (``+1``) / south (``-1``).
+        corner: for ``MERGED_DUPLICATE_PRONE``, the quartet reference corner
+            ``(qx, qy)``; ``None`` otherwise.
+        supplementary_corners: interior corners whose quartets must be
+            consulted for supplementary-area replication (Algorithm 4),
+            ordered nearest first.
+    """
+
+    kind: AreaKind
+    cx: int
+    cy: int
+    near_x: int
+    near_y: int
+    corner: tuple[int, int] | None = None
+    supplementary_corners: tuple[tuple[int, int], ...] = field(default=())
+
+
+def classify_point(grid: Grid, x: float, y: float) -> AreaInfo:
+    """Classify a point into the replication areas of its native cell."""
+    cx, cy = grid.cell_index(x, y)
+    cell = grid.cell_mbr(cx, cy)
+    eps = grid.eps
+
+    near_x = 0
+    if cell.xmax - x <= eps and cx + 1 < grid.nx:
+        near_x = 1
+    elif x - cell.xmin <= eps and cx > 0:
+        near_x = -1
+
+    near_y = 0
+    if cell.ymax - y <= eps and cy + 1 < grid.ny:
+        near_y = 1
+    elif y - cell.ymin <= eps and cy > 0:
+        near_y = -1
+
+    if near_x == 0 and near_y == 0:
+        return AreaInfo(AreaKind.NO_REPLICATION, cx, cy, 0, 0)
+
+    if near_x != 0 and near_y != 0:
+        corner = (cx + (1 if near_x > 0 else 0), cy + (1 if near_y > 0 else 0))
+        # The two interior corners adjacent to `corner` along the two
+        # borders the point is near; their quartets may hold supplementary
+        # areas the point falls into (Algorithm 2, lines 8-11).
+        candidates = [
+            (corner[0], corner[1] - near_y),  # other end of the E/W border
+            (corner[0] - near_x, corner[1]),  # other end of the N/S border
+        ]
+        supp = tuple(c for c in candidates if grid.is_interior_corner(*c))
+        return AreaInfo(
+            AreaKind.MERGED_DUPLICATE_PRONE, cx, cy, near_x, near_y,
+            corner=corner, supplementary_corners=supp,
+        )
+
+    # Plain replication area: near exactly one border.  The supplementary
+    # corners are the two ends of that border (Algorithm 2, lines 16-19),
+    # nearest first.
+    if near_x != 0:
+        ends = [(cx + (1 if near_x > 0 else 0), cy), (cx + (1 if near_x > 0 else 0), cy + 1)]
+    else:
+        ends = [(cx, cy + (1 if near_y > 0 else 0)), (cx + 1, cy + (1 if near_y > 0 else 0))]
+    interior = [c for c in ends if grid.is_interior_corner(*c)]
+    interior.sort(key=lambda c: euclidean(x, y, *grid.corner_coords(*c)))
+    return AreaInfo(
+        AreaKind.PLAIN, cx, cy, near_x, near_y,
+        supplementary_corners=tuple(interior),
+    )

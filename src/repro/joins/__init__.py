@@ -1,0 +1,40 @@
+"""Parallel epsilon-distance join drivers and local join kernels."""
+
+from repro.joins.local import (
+    LOCAL_KERNELS,
+    grid_hash_join,
+    nested_loop_join,
+    plane_sweep_join,
+)
+from repro.joins.distance_join import JoinConfig, JoinResult, distance_join
+from repro.joins.object_join import (
+    ObjectJoinConfig,
+    ObjectJoinResult,
+    ObjectSet,
+    object_distance_join,
+    object_intersection_join,
+)
+from repro.joins.postprocess import post_process_attributes
+from repro.joins.queries import QueryResult, closest_pairs, knn_join, self_join
+from repro.joins.api import spatial_join
+
+__all__ = [
+    "JoinConfig",
+    "JoinResult",
+    "LOCAL_KERNELS",
+    "ObjectJoinConfig",
+    "ObjectJoinResult",
+    "ObjectSet",
+    "distance_join",
+    "grid_hash_join",
+    "nested_loop_join",
+    "object_distance_join",
+    "object_intersection_join",
+    "QueryResult",
+    "closest_pairs",
+    "knn_join",
+    "plane_sweep_join",
+    "post_process_attributes",
+    "self_join",
+    "spatial_join",
+]

@@ -1,0 +1,477 @@
+"""The parallel epsilon-distance join driver (Algorithm 5 of the paper).
+
+The driver executes the full pipeline on the simulated cluster:
+
+1. **Grid construction** from the data MBR and ``eps`` (Sect. 4.1).
+2. **Sampling and agreement-based grid construction**: Bernoulli-sample
+   both inputs, accumulate per-cell statistics, instantiate the graph of
+   agreements with the configured policy (LPiB/DIFF) and run Algorithm 1
+   to make it duplicate-free.  PBSM baselines skip the graph and use
+   universal replication instead.
+3. **Spatial mapping of points**: every point is flat-mapped to the 1-d
+   ids of its assigned cells (Algorithms 2-4).
+4. **Shuffle**: each (cell, tuple) record travels to the worker owning
+   the cell's reduce partition -- cells are placed by hash or by the LPT
+   heuristic (Sect. 6.2).  Record and remote-read volumes are accounted
+   exactly.
+5. **Local join + refinement**: a per-cell kernel finds and verifies the
+   result pairs; each worker's modelled clock advances by its work, and
+   the phase's modelled duration is the slowest worker.
+
+The returned :class:`JoinResult` carries the result pairs and a
+:class:`~repro.engine.metrics.JoinMetrics` with all reproduction metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.agreements.graph import AgreementGraph
+from repro.agreements.marking import generate_duplicate_free_graph
+from repro.agreements.policies import (
+    DiffPolicy,
+    LPiBPolicy,
+    instantiate_pair_types,
+)
+from repro.data.pointset import PointSet
+from repro.data.sampling import bernoulli_sample
+from repro.engine.cluster import SimCluster
+from repro.engine.lpt import lpt_assignment
+from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
+from repro.engine.partitioner import ExplicitPartitioner, HashPartitioner
+from repro.engine.shuffle import KEY_BYTES, ShuffleStats
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.grid.statistics import GridStatistics
+from repro.joins.local import LOCAL_KERNELS
+from repro.replication.assign import AdaptiveAssigner
+from repro.replication.pbsm import UniversalAssigner
+
+#: Join methods implemented by this driver.
+GRID_METHODS = ("lpib", "diff", "uni_r", "uni_s", "eps_grid")
+
+
+class SimulatedOOMError(MemoryError):
+    """A simulated executor exceeded its modelled heap.
+
+    Carries the offending worker and its modelled heap demand so
+    benchmarks can report the paper-style "did not finish" marker.
+    """
+
+    def __init__(self, worker: int, demand_bytes: float, limit_bytes: int):
+        self.worker = worker
+        self.demand_bytes = demand_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(
+            f"worker {worker} needs ~{demand_bytes / 1e6:.1f} MB heap "
+            f"(limit {limit_bytes / 1e6:.1f} MB)"
+        )
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """Configuration of one parallel distance-join job."""
+
+    eps: float
+    method: str = "lpib"
+    sample_rate: float = 0.03
+    num_workers: int = 12
+    num_partitions: int | None = None  # defaults to 8 partitions per worker
+    cell_assignment: str = "lpt"  # "lpt" or "hash" (Sect. 6.2 / Table 7)
+    resolution_factor: float = 2.0  # grid cell side in multiples of eps
+    duplicate_free: bool = True  # False: unmarked graph + distinct (Table 6)
+    local_kernel: str = "plane_sweep"
+    seed: int = 0
+    mbr: MBR | None = None
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: When False, result pairs are counted but their ids are not
+    #: materialized -- used by large benchmark sweeps.  Requires
+    #: ``duplicate_free`` (the distinct step needs the ids).
+    collect_pairs: bool = True
+    #: Algorithm 1 edge-examination order (see
+    #: :data:`repro.agreements.marking.ORDERINGS`); only the ablation
+    #: benchmark deviates from the paper's order.
+    marking_ordering: str = "paper"
+    #: Simulated executor heap in bytes (``None`` disables the memory
+    #: model).  If any worker's deserialized shuffle input exceeds it, the
+    #: job dies with :class:`SimulatedOOMError` -- the fate of the
+    #: eps-grid baseline at x4 data in the paper (Fig. 13).
+    memory_limit_bytes: int | None = None
+
+    def resolved_partitions(self) -> int:
+        return self.num_partitions or 8 * self.num_workers
+
+
+@dataclass
+class JoinResult:
+    """Result pairs plus the job's metrics."""
+
+    r_ids: np.ndarray
+    s_ids: np.ndarray
+    metrics: JoinMetrics
+
+    def __len__(self) -> int:
+        return len(self.r_ids)
+
+    def pairs_set(self) -> set[tuple[int, int]]:
+        """The results as a set of ``(rid, sid)`` tuples."""
+        return set(zip(self.r_ids.tolist(), self.s_ids.tolist()))
+
+
+def _build_assigner(
+    grid: Grid,
+    cfg: JoinConfig,
+    r: PointSet,
+    s: PointSet,
+    stats: GridStatistics | None,
+    metrics: JoinMetrics,
+):
+    """Instantiate the replication scheme the configured method requires."""
+    if cfg.method in ("lpib", "diff"):
+        if stats is None:
+            raise ValueError("adaptive methods require sample statistics")
+        policy = LPiBPolicy() if cfg.method == "lpib" else DiffPolicy()
+        pair_types = instantiate_pair_types(grid, stats, policy)
+        graph = AgreementGraph(grid, pair_types, stats)
+        if cfg.duplicate_free:
+            report = generate_duplicate_free_graph(graph, cfg.marking_ordering)
+            metrics.extra["marked_edges"] = report.marked_edges
+            metrics.extra["mixed_triangles"] = report.mixed_triangles
+        counts = graph.agreement_counts()
+        metrics.extra["agreements_r"] = counts[Side.R]
+        metrics.extra["agreements_s"] = counts[Side.S]
+        return AdaptiveAssigner(grid, graph), pair_types
+    if cfg.method == "uni_r":
+        return UniversalAssigner(grid, Side.R), None
+    if cfg.method == "uni_s":
+        return UniversalAssigner(grid, Side.S), None
+    if cfg.method == "eps_grid":
+        smaller = Side.R if len(r) <= len(s) else Side.S
+        return UniversalAssigner(grid, smaller), None
+    raise ValueError(f"unknown method {cfg.method!r}; choose from {GRID_METHODS}")
+
+
+def _lpt_costs(
+    grid: Grid,
+    stats: GridStatistics,
+    pair_types: dict | None,
+    replicated: Side | None,
+) -> dict[int, float]:
+    """Estimated per-cell join cost for LPT (Sect. 6.2).
+
+    The paper's estimate is the product of the points of each input that
+    will *eventually* be in the cell -- natives plus expected replicas.
+    Replica inflow per border is read off the sample statistics, using the
+    agreement types (adaptive methods) or the universally replicated input
+    (PBSM baselines).
+    """
+    n = grid.num_cells
+    inflow = {Side.R: np.zeros(n), Side.S: np.zeros(n)}
+    for a, b, _kind in grid.adjacent_pairs():
+        if pair_types is not None:
+            sides: tuple[Side, ...] = (pair_types[frozenset((a, b))],)
+        else:
+            sides = (replicated,) if replicated is not None else ()
+        for side in sides:
+            inflow[side][b] += stats.directed_candidates(a, b, side)
+            inflow[side][a] += stats.directed_candidates(b, a, side)
+    costs: dict[int, float] = {}
+    for cell in range(n):
+        r_est = stats.cell_count(cell, Side.R) + inflow[Side.R][cell]
+        s_est = stats.cell_count(cell, Side.S) + inflow[Side.S][cell]
+        if r_est and s_est:
+            costs[cell] = float(r_est * s_est)
+    return costs
+
+
+def _group_slices(cells: np.ndarray, point_idx: np.ndarray):
+    """Sort assignments by cell; yield ``(cell_id, point_index_array)``."""
+    order = np.argsort(cells, kind="stable")
+    cells_sorted = cells[order]
+    idx_sorted = point_idx[order]
+    uniq, starts = np.unique(cells_sorted, return_index=True)
+    bounds = np.append(starts, len(cells_sorted))
+    return {
+        int(uniq[i]): idx_sorted[bounds[i] : bounds[i + 1]] for i in range(len(uniq))
+    }
+
+
+def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
+    """Execute a parallel epsilon-distance join on the simulated cluster."""
+    if cfg.eps <= 0:
+        raise ValueError("eps must be positive")
+    cm = cfg.cost_model
+    cluster = SimCluster(cfg.num_workers, cm)
+    num_partitions = cfg.resolved_partitions()
+    timer = PhaseTimer()
+    metrics = JoinMetrics(
+        method=cfg.method,
+        eps=cfg.eps,
+        num_workers=cfg.num_workers,
+        num_partitions=num_partitions,
+        input_r=len(r),
+        input_s=len(s),
+    )
+    shuffle = ShuffleStats()
+
+    # ------------------------------------------------------------------
+    # construction: grid, sampling, agreements, partitioner
+    # ------------------------------------------------------------------
+    timer.start("construction")
+    mbr = cfg.mbr or r.mbr().union(s.mbr())
+    factor = 1.0 if cfg.method == "eps_grid" else cfg.resolution_factor
+    grid = Grid(mbr, cfg.eps, factor)
+    metrics.grid_cells = grid.num_cells
+
+    needs_stats = cfg.method in ("lpib", "diff") or cfg.cell_assignment == "lpt"
+    stats = None
+    if needs_stats:
+        stats = GridStatistics(grid)
+        r_sample = bernoulli_sample(r, cfg.sample_rate, cfg.seed)
+        s_sample = bernoulli_sample(s, cfg.sample_rate, cfg.seed + 1)
+        stats.add_points(r_sample.xs, r_sample.ys, Side.R)
+        stats.add_points(s_sample.xs, s_sample.ys, Side.S)
+
+    assigner, pair_types = _build_assigner(grid, cfg, r, s, stats, metrics)
+
+    # Algorithm 5 broadcasts the grid (plus agreements) to every executor.
+    from repro.engine.broadcast import (
+        agreement_broadcast_bytes,
+        broadcast_cost,
+        grid_broadcast_bytes,
+    )
+
+    if isinstance(assigner, AdaptiveAssigner):
+        payload = agreement_broadcast_bytes(assigner.graph)
+    else:
+        payload = grid_broadcast_bytes(grid)
+    bcast = broadcast_cost(payload, cfg.num_workers)
+    metrics.extra["broadcast_bytes"] = float(bcast.total_bytes)
+
+    if cfg.cell_assignment == "lpt":
+        # The paper's LPT assigns cells to *workers* (Sect. 6.2): packing
+        # into many partitions and round-robining them onto workers would
+        # systematically stack each round's largest cell on worker 0.
+        replicated = getattr(assigner, "replicated", None)
+        costs = _lpt_costs(grid, stats, pair_types, replicated)
+        partitioner = ExplicitPartitioner(
+            lpt_assignment(costs, cfg.num_workers), cfg.num_workers
+        )
+    elif cfg.cell_assignment == "hash":
+        partitioner = HashPartitioner(num_partitions)
+    else:
+        raise ValueError(f"unknown cell assignment {cfg.cell_assignment!r}")
+
+    # ------------------------------------------------------------------
+    # map + shuffle (with exact volume accounting and modelled costs)
+    # ------------------------------------------------------------------
+    timer.start("map_shuffle")
+    per_side: dict[Side, dict[int, np.ndarray]] = {}
+    cell_worker: dict[int, int] = {}
+    worker_heap = np.zeros(cfg.num_workers)
+    for side, ps in ((Side.R, r), (Side.S, s)):
+        cells, idxs = assigner.assign_batch(ps.xs, ps.ys, side)
+        replicated = len(cells) - len(ps)
+        if side is Side.R:
+            metrics.replicated_r = replicated
+        else:
+            metrics.replicated_s = replicated
+
+        n = len(ps)
+        # Input splits are contiguous chunks spread round-robin on workers.
+        src_workers = np.minimum(
+            (idxs * cfg.num_workers) // max(n, 1), cfg.num_workers - 1
+        )
+        parts = partitioner.of_array(cells)
+        dst_workers = parts % cfg.num_workers
+        record = KEY_BYTES + ps.record_bytes
+        shuffle.add_transfers(src_workers, dst_workers, record)
+
+        # modelled costs: mapping on source workers, reading on destination
+        map_counts = np.bincount(
+            np.minimum(
+                (np.arange(n, dtype=np.int64) * cfg.num_workers) // max(n, 1),
+                cfg.num_workers - 1,
+            ),
+            minlength=cfg.num_workers,
+        )
+        for w, count in enumerate(map_counts):
+            cluster.add_cost(w, "map", float(count) * cm.map_tuple_cost)
+        remote = src_workers != dst_workers
+        read_cost = np.where(
+            remote,
+            record * cm.remote_byte_cost + cm.reduce_record_cost,
+            record * cm.local_byte_cost + cm.reduce_record_cost,
+        )
+        for w in range(cfg.num_workers):
+            sel = dst_workers == w
+            if sel.any():
+                cluster.add_cost(w, "shuffle_read", float(read_cost[sel].sum()))
+        worker_heap += (
+            np.bincount(dst_workers, minlength=cfg.num_workers)
+            * record
+            * cm.heap_expansion
+        )
+
+        groups = _group_slices(cells, idxs)
+        per_side[side] = groups
+        for cell in groups:
+            if cell not in cell_worker:
+                cell_worker[cell] = partitioner.of(cell) % cfg.num_workers
+
+    metrics.shuffle_records = shuffle.records
+    metrics.shuffle_bytes = shuffle.bytes
+    metrics.remote_records = shuffle.remote_records
+    metrics.remote_bytes = shuffle.remote_bytes
+    metrics.extra["peak_worker_heap_bytes"] = float(worker_heap.max())
+    if cfg.memory_limit_bytes is not None:
+        hottest = int(worker_heap.argmax())
+        if worker_heap[hottest] > cfg.memory_limit_bytes:
+            raise SimulatedOOMError(
+                hottest, float(worker_heap[hottest]), cfg.memory_limit_bytes
+            )
+    metrics.construction_time_model = (
+        cluster.phase_makespan("map")
+        + cluster.phase_makespan("shuffle_read")
+        # broadcast is a bulk (torrent-style) transfer, not a per-record
+        # shuffle read: charge it at the bulk byte rate
+        + bcast.time_model(cm.local_byte_cost)
+        + cm.job_overhead
+    )
+
+    # ------------------------------------------------------------------
+    # local joins + refinement
+    # ------------------------------------------------------------------
+    timer.start("join")
+    if not cfg.collect_pairs and not cfg.duplicate_free:
+        raise ValueError("the deduplicating variant requires collect_pairs")
+    kernel = LOCAL_KERNELS[cfg.local_kernel]
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    out_src: list[np.ndarray] = []
+    result_count = 0
+    candidates_total = 0
+    r_groups, s_groups = per_side[Side.R], per_side[Side.S]
+    for cell, r_idx in r_groups.items():
+        s_idx = s_groups.get(cell)
+        if s_idx is None:
+            continue
+        rid, sid, candidates = kernel(
+            r.ids[r_idx], r.xs[r_idx], r.ys[r_idx],
+            s.ids[s_idx], s.xs[s_idx], s.ys[s_idx],
+            cfg.eps,
+        )
+        candidates_total += candidates
+        result_count += len(rid)
+        worker = cell_worker[cell]
+        cluster.add_cost(
+            worker,
+            "join",
+            candidates * cm.compare_cost + len(rid) * cm.emit_cost,
+        )
+        if len(rid) and cfg.collect_pairs:
+            out_r.append(rid)
+            out_s.append(sid)
+            out_src.append(np.full(len(rid), worker, dtype=np.int64))
+
+    r_ids = np.concatenate(out_r) if out_r else np.empty(0, dtype=np.int64)
+    s_ids = np.concatenate(out_s) if out_s else np.empty(0, dtype=np.int64)
+    metrics.candidate_pairs = candidates_total
+    metrics.join_time_model = cluster.phase_makespan("join")
+    metrics.worker_join_costs = cluster.phase_loads("join")
+
+    # ------------------------------------------------------------------
+    # optional deduplication step (the Table 6 variant)
+    # ------------------------------------------------------------------
+    if not cfg.duplicate_free:
+        timer.start("dedup")
+        src = np.concatenate(out_src) if out_src else np.empty(0, dtype=np.int64)
+        r_ids, s_ids, dedup_time = _distinct_pairs(
+            r_ids, s_ids, src, cluster, shuffle, num_partitions, cm
+        )
+        metrics.join_time_model += dedup_time
+        metrics.extra["dedup_time_model"] = dedup_time
+        metrics.shuffle_records = shuffle.records
+        metrics.shuffle_bytes = shuffle.bytes
+        metrics.remote_records = shuffle.remote_records
+        metrics.remote_bytes = shuffle.remote_bytes
+
+    timer.stop()
+    metrics.results = len(r_ids) if cfg.collect_pairs else result_count
+    metrics.wall_times = dict(timer.phases)
+    return JoinResult(r_ids, s_ids, metrics)
+
+
+#: Modelled serialized size of one result pair in the distinct shuffle.
+_PAIR_BYTES = 16
+#: Modelled cost of sort-based distinct per record (Spark's `distinct`
+#: repartitions, sorts and compares every result pair).
+_DISTINCT_RECORD_COST = 1.0e-6
+
+
+def _distinct_pairs(
+    r_ids: np.ndarray,
+    s_ids: np.ndarray,
+    src_workers: np.ndarray,
+    cluster: SimCluster,
+    shuffle: ShuffleStats,
+    num_partitions: int,
+    cm: CostModel,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """A parallel ``distinct`` over result pairs, with cost accounting.
+
+    Models the paper's post-join deduplication operator (Sect. 7.2.7):
+    every result pair is shuffled by its key so duplicates co-locate, then
+    each partition sorts/uniquifies its pairs.
+    """
+    if len(r_ids) == 0:
+        return r_ids, s_ids, 0.0
+    key = r_ids.astype(np.int64) * np.int64(2**32) + s_ids.astype(np.int64)
+    parts = (key % num_partitions).astype(np.int64)
+    dst_workers = parts % cluster.num_workers
+    shuffle.add_transfers(src_workers, dst_workers, _PAIR_BYTES)
+    remote = src_workers != dst_workers
+    cost = np.where(
+        remote,
+        _PAIR_BYTES * cm.remote_byte_cost + _DISTINCT_RECORD_COST,
+        _PAIR_BYTES * cm.local_byte_cost + _DISTINCT_RECORD_COST,
+    )
+    for w in range(cluster.num_workers):
+        sel = dst_workers == w
+        if sel.any():
+            cluster.add_cost(w, "dedup", float(cost[sel].sum()))
+    uniq = np.unique(key)
+    return (
+        (uniq >> np.int64(32)).astype(np.int64),
+        (uniq & np.int64(0xFFFFFFFF)).astype(np.int64),
+        cluster.phase_makespan("dedup"),
+    )
+
+
+def join_with_method(
+    r: PointSet, s: PointSet, eps: float, method: str, **overrides
+) -> JoinResult:
+    """Convenience wrapper: run one method with default configuration."""
+    cfg = JoinConfig(eps=eps, method=method, **overrides)
+    return distance_join(r, s, cfg)
+
+
+def config_variants(base: JoinConfig, **changes) -> JoinConfig:
+    """A modified copy of a configuration (dataclass ``replace`` wrapper)."""
+    return replace(base, **changes)
+
+
+def paper_default_config(eps: float = 0.012, **overrides) -> JoinConfig:
+    """The paper's default experimental setup (Table 3, bold values)."""
+    defaults = dict(
+        eps=eps,
+        method="lpib",
+        sample_rate=0.03,
+        num_workers=12,
+        num_partitions=96,
+    )
+    defaults.update(overrides)
+    return JoinConfig(**defaults)

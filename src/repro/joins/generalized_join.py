@@ -1,0 +1,323 @@
+"""Adaptive replication on arbitrary rectangulations (Sect. 8).
+
+The paper's marking machinery (Sect. 4.5) is derived for the uniform
+grid's 2x2 quartets.  To generalize agreements to other partitioning
+schemes -- QuadTrees in particular -- this driver replaces marking with
+**ownership reporting**, a per-pair duplicate-avoidance rule in the
+spirit of the reference-point technique the paper cites [Dittrich &
+Seeger, ICDE 2000]:
+
+* For every pair of touching leaves an *agreement* picks the input
+  replicated across that border, exactly as in the paper; a point is
+  replicated to a touching leaf within ``eps`` only when the agreement
+  matches its input.
+* Every leaf can evaluate, from a result pair's coordinates alone, which
+  leaf *owns* the pair: the common native leaf, or -- for pairs spanning
+  two leaves -- the leaf the agreed input flows into.  A leaf emits only
+  the pairs it owns.
+
+**Correctness.**  The owner always holds both points: for natives ``A !=
+B`` with agreement R, the S point is native in the owner ``B`` and the R
+point is within ``eps`` of ``B`` (it is within ``eps`` of a point of
+``B``), so the agreement replicates it there.  Touching is guaranteed
+because in a min-side-``2 eps`` dyadic rectangulation two non-touching
+leaves are at least ``2 eps`` apart.  **Duplicate-freeness** holds
+because ownership is a pure function of the pair, evaluated identically
+in every leaf.  The tests validate both properties point-level against
+the oracle on grids and QuadTrees, including hypothesis-driven random
+configurations.
+
+**Trade-off vs the paper's marking.**  Ownership reporting needs no
+corner-case machinery and even skips the supplementary-area replication,
+at the price of evaluating the ownership rule for every locally found
+pair -- per-result work the paper's scheme avoids by construction.  The
+modelled cost accounts for it, and ``bench_ext_generalized.py``
+quantifies the trade on the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.pointset import PointSet
+from repro.data.sampling import bernoulli_sample
+from repro.engine.cluster import SimCluster
+from repro.engine.lpt import lpt_assignment
+from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
+from repro.engine.shuffle import KEY_BYTES, ShuffleStats
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.joins.distance_join import JoinResult
+from repro.joins.local import plane_sweep_join
+from repro.partitioning.rect_partition import (
+    GridRectPartition,
+    QuadtreeRectPartition,
+    RectPartition,
+)
+
+#: ``clone`` is Patel & DeWitt's clone join (paper Sect. 2): *both*
+#: inputs are replicated to every leaf within eps, and each pair is
+#: reported by the leaf containing its midpoint -- the reference-point
+#: technique in its purest form.  It needs no agreements at all, at the
+#: price of roughly doubling PBSM's replication.
+METHODS = ("lpib", "diff", "uni_r", "uni_s", "clone")
+PARTITIONS = ("grid", "quadtree")
+
+
+@dataclass(frozen=True)
+class GeneralizedJoinConfig:
+    """Configuration of the generalized adaptive join."""
+
+    eps: float
+    partition: str = "quadtree"
+    method: str = "lpib"
+    quadtree_capacity: int = 64
+    sample_rate: float = 0.05
+    num_workers: int = 12
+    seed: int = 0
+    mbr: MBR | None = None
+    cost_model: CostModel = field(default_factory=CostModel)
+
+
+class _PartitionStats:
+    """Per-leaf and per-border sample counts for agreement decisions."""
+
+    def __init__(self, part: RectPartition):
+        self.part = part
+        self.totals = {s: np.zeros(part.num_leaves, dtype=np.int64) for s in Side}
+        self.boundary: dict[tuple[int, int], dict[Side, int]] = {}
+
+    def add_sample(self, xs: np.ndarray, ys: np.ndarray, side: Side) -> None:
+        part = self.part
+        for x, y in zip(xs.tolist(), ys.tolist()):
+            native = part.leaf_of(x, y)
+            self.totals[side][native] += 1
+            for target in part.targets_within_eps(x, y, native):
+                key = (min(native, target), max(native, target))
+                entry = self.boundary.setdefault(key, {Side.R: 0, Side.S: 0})
+                entry[side] += 1
+
+    def decide(self, method: str, a: int, b: int) -> Side | None:
+        if method == "clone":
+            return None  # both inputs cross every border
+        if method == "uni_r":
+            return Side.R
+        if method == "uni_s":
+            return Side.S
+        if method == "lpib":
+            entry = self.boundary.get((min(a, b), max(a, b)), {Side.R: 0, Side.S: 0})
+            if entry[Side.R] != entry[Side.S]:
+                return Side.R if entry[Side.R] < entry[Side.S] else Side.S
+            # fall through to the totals tie-break, as in the grid LPiB
+        r = int(self.totals[Side.R][a] + self.totals[Side.R][b])
+        s = int(self.totals[Side.S][a] + self.totals[Side.S][b])
+        if method == "diff":
+            da = abs(int(self.totals[Side.R][a]) - int(self.totals[Side.S][a]))
+            db = abs(int(self.totals[Side.R][b]) - int(self.totals[Side.S][b]))
+            leaf = a if da >= db else b
+            r = int(self.totals[Side.R][leaf])
+            s = int(self.totals[Side.S][leaf])
+        return Side.R if r <= s else Side.S
+
+
+def _build_partition(cfg, mbr, r_sample, s_sample) -> RectPartition:
+    if cfg.partition == "grid":
+        return GridRectPartition(Grid(mbr, cfg.eps))
+    if cfg.partition == "quadtree":
+        xs = np.concatenate([r_sample.xs, s_sample.xs])
+        ys = np.concatenate([r_sample.ys, s_sample.ys])
+        return QuadtreeRectPartition(
+            mbr, cfg.eps, xs, ys, capacity=cfg.quadtree_capacity
+        )
+    raise ValueError(f"unknown partition {cfg.partition!r}; choose from {PARTITIONS}")
+
+
+def generalized_distance_join(
+    r: PointSet, s: PointSet, cfg: GeneralizedJoinConfig
+) -> JoinResult:
+    """Epsilon-distance join with adaptive replication on any partition."""
+    if cfg.eps <= 0:
+        raise ValueError("eps must be positive")
+    if cfg.method not in METHODS:
+        raise ValueError(f"unknown method {cfg.method!r}; choose from {METHODS}")
+    cm = cfg.cost_model
+    cluster = SimCluster(cfg.num_workers, cm)
+    shuffle = ShuffleStats()
+    timer = PhaseTimer()
+    metrics = JoinMetrics(
+        method=f"{cfg.partition}-{cfg.method}",
+        eps=cfg.eps,
+        num_workers=cfg.num_workers,
+        input_r=len(r),
+        input_s=len(s),
+    )
+
+    # ------------------------------------------------------------------
+    # construction: partition, statistics, agreements
+    # ------------------------------------------------------------------
+    timer.start("construction")
+    mbr = cfg.mbr or r.mbr().union(s.mbr())
+    r_sample = bernoulli_sample(r, cfg.sample_rate, cfg.seed)
+    s_sample = bernoulli_sample(s, cfg.sample_rate, cfg.seed + 1)
+    part = _build_partition(cfg, mbr, r_sample, s_sample)
+    metrics.grid_cells = part.num_leaves
+    metrics.num_partitions = part.num_leaves
+
+    stats = _PartitionStats(part)
+    stats.add_sample(r_sample.xs, r_sample.ys, Side.R)
+    stats.add_sample(s_sample.xs, s_sample.ys, Side.S)
+    agreements = {
+        (a, b): stats.decide(cfg.method, a, b) for a, b in part.adjacent_pairs()
+    }
+
+    def pair_type(a: int, b: int) -> Side:
+        return agreements[(min(a, b), max(a, b))]
+
+    # leaf -> worker via LPT on estimated leaf cost
+    costs = {
+        leaf: float(stats.totals[Side.R][leaf] * stats.totals[Side.S][leaf])
+        for leaf in range(part.num_leaves)
+    }
+    leaf_worker_map = lpt_assignment(costs, cfg.num_workers)
+
+    # ------------------------------------------------------------------
+    # map + shuffle on the partition
+    # ------------------------------------------------------------------
+    timer.start("map_shuffle")
+    natives: dict[Side, np.ndarray] = {}
+    per_leaf: dict[Side, dict[int, list[int]]] = {Side.R: {}, Side.S: {}}
+    for side, ps in ((Side.R, r), (Side.S, s)):
+        n = len(ps)
+        native = np.fromiter(
+            (part.leaf_of(float(x), float(y)) for x, y in zip(ps.xs, ps.ys)),
+            dtype=np.int64,
+            count=n,
+        )
+        natives[side] = native
+        assignments_cells: list[int] = []
+        assignments_idx: list[int] = []
+        for i in range(n):
+            leaf = int(native[i])
+            assignments_cells.append(leaf)
+            assignments_idx.append(i)
+            x, y = float(ps.xs[i]), float(ps.ys[i])
+            for m in part.targets_within_eps(x, y, leaf):
+                agreed = pair_type(leaf, m)
+                if agreed is None or agreed == side:
+                    assignments_cells.append(m)
+                    assignments_idx.append(i)
+        cells = np.asarray(assignments_cells, dtype=np.int64)
+        idxs = np.asarray(assignments_idx, dtype=np.int64)
+        replicated = len(cells) - n
+        if side is Side.R:
+            metrics.replicated_r = replicated
+        else:
+            metrics.replicated_s = replicated
+
+        src = np.minimum((idxs * cfg.num_workers) // max(n, 1), cfg.num_workers - 1)
+        dst = np.fromiter(
+            (leaf_worker_map[int(c)] for c in cells), dtype=np.int64, count=len(cells)
+        )
+        record = KEY_BYTES + ps.record_bytes
+        shuffle.add_transfers(src, dst, record)
+        remote = src != dst
+        cost = np.where(
+            remote,
+            record * cm.remote_byte_cost + cm.reduce_record_cost,
+            record * cm.local_byte_cost + cm.reduce_record_cost,
+        )
+        for w in range(cfg.num_workers):
+            sel = dst == w
+            if sel.any():
+                cluster.add_cost(w, "shuffle_read", float(cost[sel].sum()))
+        map_counts = np.bincount(
+            np.minimum(
+                (np.arange(n, dtype=np.int64) * cfg.num_workers) // max(n, 1),
+                cfg.num_workers - 1,
+            ),
+            minlength=cfg.num_workers,
+        )
+        for w, count in enumerate(map_counts):
+            cluster.add_cost(w, "map", float(count) * cm.map_tuple_cost)
+
+        groups = per_leaf[side]
+        for c, i in zip(cells.tolist(), idxs.tolist()):
+            groups.setdefault(c, []).append(i)
+
+    metrics.shuffle_records = shuffle.records
+    metrics.shuffle_bytes = shuffle.bytes
+    metrics.remote_records = shuffle.remote_records
+    metrics.remote_bytes = shuffle.remote_bytes
+    metrics.construction_time_model = (
+        cluster.phase_makespan("map")
+        + cluster.phase_makespan("shuffle_read")
+        + cm.job_overhead
+    )
+
+    # ------------------------------------------------------------------
+    # local joins + ownership reporting
+    # ------------------------------------------------------------------
+    timer.start("join")
+    eps = cfg.eps
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    candidates_total = 0
+    for leaf, r_idx_list in per_leaf[Side.R].items():
+        s_idx_list = per_leaf[Side.S].get(leaf)
+        if not s_idx_list:
+            continue
+        r_idx = np.asarray(r_idx_list, dtype=np.int64)
+        s_idx = np.asarray(s_idx_list, dtype=np.int64)
+        ri, sj, candidates = plane_sweep_join(
+            r_idx, r.xs[r_idx], r.ys[r_idx],
+            s_idx, s.xs[s_idx], s.ys[s_idx],
+            eps,
+        )
+        candidates_total += candidates
+        worker = leaf_worker_map[leaf]
+        if len(ri) == 0:
+            cluster.add_cost(worker, "join", candidates * cm.compare_cost)
+            continue
+        if cfg.method == "clone":
+            # clone join: the leaf holding the pair's midpoint reports it
+            mx = (r.xs[ri] + s.xs[sj]) / 2.0
+            my = (r.ys[ri] + s.ys[sj]) / 2.0
+            owner = np.fromiter(
+                (part.leaf_of(float(x), float(y)) for x, y in zip(mx, my)),
+                dtype=np.int64,
+                count=len(ri),
+            )
+        else:
+            # ownership: the common native leaf, or the agreement's
+            # destination leaf
+            na = natives[Side.R][ri]
+            nb = natives[Side.S][sj]
+            owner = np.where(na == nb, na, -1)
+            for k in np.nonzero(owner < 0)[0]:
+                a, b = int(na[k]), int(nb[k])
+                owner[k] = b if pair_type(a, b) == Side.R else a
+        mine = owner == leaf
+        kept = int(np.count_nonzero(mine))
+        cluster.add_cost(
+            worker,
+            "join",
+            candidates * cm.compare_cost
+            + len(ri) * cm.compare_cost  # ownership evaluation per found pair
+            + kept * cm.emit_cost,
+        )
+        if kept:
+            out_r.append(r.ids[ri[mine]])
+            out_s.append(s.ids[sj[mine]])
+
+    r_ids = np.concatenate(out_r) if out_r else np.empty(0, dtype=np.int64)
+    s_ids = np.concatenate(out_s) if out_s else np.empty(0, dtype=np.int64)
+    metrics.candidate_pairs = candidates_total
+    metrics.join_time_model = cluster.phase_makespan("join")
+    metrics.worker_join_costs = cluster.phase_loads("join")
+    metrics.results = len(r_ids)
+    timer.stop()
+    metrics.wall_times = dict(timer.phases)
+    return JoinResult(r_ids, s_ids, metrics)

@@ -1,0 +1,13 @@
+"""Point-to-cell assignment with adaptive or universal replication."""
+
+from repro.replication.assign import AdaptiveAssigner, Assigner, medupar, supar
+from repro.replication.pbsm import UniversalAssigner, replication_targets_universal
+
+__all__ = [
+    "AdaptiveAssigner",
+    "Assigner",
+    "UniversalAssigner",
+    "medupar",
+    "replication_targets_universal",
+    "supar",
+]

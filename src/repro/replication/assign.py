@@ -1,0 +1,368 @@
+"""Adaptive point replication to cells (Algorithms 2, 3 and 4).
+
+Given a duplicate-free graph of agreements, :class:`AdaptiveAssigner` maps
+every point to the set of cells that must see it:
+
+* its native cell, always;
+* for points in a **plain replication area**, the neighbouring cell across
+  the near border -- only when the agreement type of that pair matches the
+  point's input (Algorithm 2, lines 12-15);
+* for points in a **merged duplicate-prone area**, the cells selected by
+  *MeDuPAr* (Algorithm 3): the two side-adjacent quartet cells whose edge
+  matches the point's input and is unmarked, plus the diagonal cell either
+  when the point is within ``eps`` of the reference point (natural
+  replication) or as a redirect when a matching side edge is marked;
+* the cells selected by *SupAr* (Algorithm 4) for the point's nearby
+  quartets: when a neighbouring cell's edge towards the point's cell is
+  marked (its duplicate-prone points are withheld), points of the opposite
+  input within the *supplementary area* are force-replicated to the quartet
+  cell where the withheld points now meet them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from repro.agreements.graph import AgreementGraph, QuartetSubgraph
+from repro.geometry.distance import euclidean
+from repro.geometry.point import Side
+from repro.grid.areas import AreaKind, classify_point
+from repro.grid.grid import Grid
+
+
+class Assigner(Protocol):
+    """Maps a point to the ids of all cells it is assigned to."""
+
+    grid: Grid
+
+    def assign(self, x: float, y: float, side: Side) -> tuple[int, ...]:
+        """Native cell first, then replication targets (deduplicated)."""
+        ...
+
+
+def medupar(
+    sub: QuartetSubgraph, x: float, y: float, side: Side, native: int, eps: float
+) -> set[int]:
+    """Algorithm 3: assignment of a merged-duplicate-prone-area point.
+
+    ``native`` must be one of the quartet's cells and the point must lie in
+    the ``eps x eps`` square of ``native`` at the quartet's reference point.
+    """
+    assigned: set[int] = set()
+    side_cells = sub.side_neighbors(native)
+    for cj in side_cells:
+        e_ij = sub.edge(native, cj)
+        if e_ij.side == side and not e_ij.marked:
+            assigned.add(cj)
+
+    cl = sub.diagonal(native)
+    e_il = sub.edge(native, cl)
+    if e_il.side == side and not e_il.marked:
+        if euclidean(x, y, *sub.ref) <= eps:
+            assigned.add(cl)
+        else:
+            # Redirect: a marked same-type side edge withholds this point
+            # from a side cell; it must meet its partners in the diagonal
+            # cell instead (Algorithm 3, lines 8-11).
+            for cj in side_cells:
+                e_ij = sub.edge(native, cj)
+                if e_ij.side == side and e_ij.marked:
+                    assigned.add(cl)
+                    break
+    return assigned
+
+
+def supar(
+    sub: QuartetSubgraph,
+    x: float,
+    y: float,
+    side: Side,
+    native: int,
+    grid: Grid,
+) -> set[int]:
+    """Algorithm 4: supplementary-area assignment within one quartet.
+
+    Checks, for each quartet cell ``cj`` side-adjacent to the point's
+    native cell, whether the edge ``cj -> native`` is marked with the
+    opposite type -- meaning ``cj``'s duplicate-prone points of the other
+    input are withheld from the native cell.  If the point lies within the
+    supplementary area (within ``2 * eps`` of the reference point and
+    within ``eps`` of ``cj``), it is force-replicated to the quartet cell
+    where those withheld points are still replicated.
+    """
+    assigned: set[int] = set()
+    if native not in sub.pos_of:
+        return assigned
+    eps = grid.eps
+    if euclidean(x, y, *sub.ref) > 2.0 * eps:
+        return assigned
+
+    side_cells = sub.side_neighbors(native)
+    cl = sub.diagonal(native)
+    for cj in side_cells:
+        cj_mbr = grid.cell_mbr(*grid.cell_pos(cj))
+        if cj_mbr.mindist_point(x, y) > eps:
+            continue
+        e_ji = sub.edge(cj, native)
+        if e_ji.side == side or not e_ji.marked:
+            continue
+        ck = side_cells[1] if cj == side_cells[0] else side_cells[0]
+        e_ik, e_jk = sub.edge(native, ck), sub.edge(cj, ck)
+        e_il, e_jl = sub.edge(native, cl), sub.edge(cj, cl)
+        if (
+            e_ik.side == side
+            and not e_ik.marked
+            and e_jk.side != side
+            and not e_jk.marked
+        ):
+            assigned.add(ck)
+        elif (
+            e_il.side == side
+            and not e_il.marked
+            and e_jl.side != side
+            and not e_jl.marked
+        ):
+            assigned.add(cl)
+    return assigned
+
+
+class _QuartetPlan:
+    """Precompiled replication decisions of one (quartet, native cell) pair.
+
+    After Algorithm 1 has run, every edge-type/mark condition in
+    Algorithms 3 and 4 is static; only the point's distances remain to be
+    checked at assignment time.  Compiling them once turns the per-point
+    hot path into table lookups plus a couple of float comparisons.
+    """
+
+    __slots__ = (
+        "ref",
+        "medupar_sides",
+        "diag_cell",
+        "diag_if_near",
+        "diag_if_far",
+        "supar_rules",
+    )
+
+    def __init__(self, sub: QuartetSubgraph, native: int, side: Side, grid: Grid):
+        self.ref = sub.ref
+        side_cells = sub.side_neighbors(native)
+        self.medupar_sides = tuple(
+            cj
+            for cj in side_cells
+            if sub.edge(native, cj).side == side and not sub.edge(native, cj).marked
+        )
+        cl = sub.diagonal(native)
+        e_il = sub.edge(native, cl)
+        usable_diag = e_il.side == side and not e_il.marked
+        self.diag_cell = cl if usable_diag else -1
+        self.diag_if_near = usable_diag
+        self.diag_if_far = usable_diag and any(
+            sub.edge(native, cj).side == side and sub.edge(native, cj).marked
+            for cj in side_cells
+        )
+        # SupAr: for each side neighbour whose edge towards the native cell
+        # is marked with the opposite type, resolve the destination cell.
+        rules = []
+        for cj in side_cells:
+            e_ji = sub.edge(cj, native)
+            if e_ji.side == side or not e_ji.marked:
+                continue
+            ck = side_cells[1] if cj == side_cells[0] else side_cells[0]
+            e_ik, e_jk = sub.edge(native, ck), sub.edge(cj, ck)
+            e_jl = sub.edge(cj, cl)
+            if (
+                e_ik.side == side
+                and not e_ik.marked
+                and e_jk.side != side
+                and not e_jk.marked
+            ):
+                dest = ck
+            elif (
+                e_il.side == side
+                and not e_il.marked
+                and e_jl.side != side
+                and not e_jl.marked
+            ):
+                dest = cl
+            else:
+                continue
+            rules.append((grid.cell_mbr(*grid.cell_pos(cj)), dest))
+        self.supar_rules = tuple(rules)
+
+
+class AdaptiveAssigner:
+    """Algorithm 2: point replication driven by the graph of agreements."""
+
+    def __init__(self, grid: Grid, graph: AgreementGraph):
+        if graph.grid is not grid and graph.grid != grid:
+            raise ValueError("agreement graph was built for a different grid")
+        self.grid = grid
+        self.graph = graph
+        self._plans: dict[tuple[tuple[int, int], int, Side], _QuartetPlan] = {}
+        for corner, sub in graph.quartets.items():
+            for native in sub.cells.values():
+                for side in Side:
+                    self._plans[(corner, native, side)] = _QuartetPlan(
+                        sub, native, side, grid
+                    )
+        self._pair_type_fast: dict[tuple[int, int], Side] = {}
+        for pair, side in graph.pair_types.items():
+            a, b = tuple(pair)
+            self._pair_type_fast[(a, b)] = side
+            self._pair_type_fast[(b, a)] = side
+
+    def assign(self, x: float, y: float, side: Side) -> tuple[int, ...]:
+        """All cells the point is assigned to; the native cell comes first."""
+        grid = self.grid
+        info = classify_point(grid, x, y)
+        native = grid.cell_id(info.cx, info.cy)
+        if info.kind is AreaKind.NO_REPLICATION:
+            return (native,)
+
+        extra: set[int] = set()
+        supplementary_corners = info.supplementary_corners
+        if info.kind is AreaKind.MERGED_DUPLICATE_PRONE:
+            sub = self.graph.quartets.get(info.corner)
+            if sub is not None:
+                extra |= medupar(sub, x, y, side, native, grid.eps)
+            # A square-zone point may additionally lie in a supplementary
+            # area of its *own* quartet: the triad's duplicate-prone area
+            # (the quarter disc) is smaller than the merged square, so a
+            # point beyond eps of the reference point can still need
+            # force-replication when a neighbour's edge towards it is
+            # marked.  Algorithm 2 in the paper omits this sub-case; the
+            # exhaustive quartet tests show it is required for correctness.
+            supplementary_corners = (info.corner, *supplementary_corners)
+        else:  # plain replication area
+            cj = grid.cell_id(info.cx + info.near_x, info.cy + info.near_y)
+            if self.graph.pair_type(native, cj) == side:
+                extra.add(cj)
+
+        for corner in supplementary_corners:
+            sub = self.graph.quartets.get(corner)
+            if sub is not None:
+                extra |= supar(sub, x, y, side, native, grid)
+
+        extra.discard(native)
+        return (native, *sorted(extra))
+
+    def _assign_fast(self, x: float, y: float, side: Side) -> tuple[int, ...]:
+        """Compiled-plan equivalent of :meth:`assign` (same output)."""
+        grid = self.grid
+        eps = grid.eps
+        cx = int((x - grid.mbr.xmin) / grid.cell_w)
+        cx = 0 if cx < 0 else (grid.nx - 1 if cx >= grid.nx else cx)
+        cy = int((y - grid.mbr.ymin) / grid.cell_h)
+        cy = 0 if cy < 0 else (grid.ny - 1 if cy >= grid.ny else cy)
+        native = cy * grid.nx + cx
+
+        x0 = grid.mbr.xmin + cx * grid.cell_w
+        y0 = grid.mbr.ymin + cy * grid.cell_h
+        near_x = 0
+        if x0 + grid.cell_w - x <= eps and cx + 1 < grid.nx:
+            near_x = 1
+        elif x - x0 <= eps and cx > 0:
+            near_x = -1
+        near_y = 0
+        if y0 + grid.cell_h - y <= eps and cy + 1 < grid.ny:
+            near_y = 1
+        elif y - y0 <= eps and cy > 0:
+            near_y = -1
+        if near_x == 0 and near_y == 0:
+            return (native,)
+
+        extra: set[int] = set()
+        if near_x != 0 and near_y != 0:
+            corner = (cx + (near_x > 0), cy + (near_y > 0))
+            plan = self._plans.get((corner, native, side))
+            if plan is not None:
+                extra.update(plan.medupar_sides)
+                if plan.diag_cell >= 0:
+                    dx = x - plan.ref[0]
+                    dy = y - plan.ref[1]
+                    near_ref = dx * dx + dy * dy <= eps * eps
+                    if (near_ref and plan.diag_if_near) or (
+                        not near_ref and plan.diag_if_far
+                    ):
+                        extra.add(plan.diag_cell)
+            supp = (
+                corner,
+                (corner[0], corner[1] - near_y),
+                (corner[0] - near_x, corner[1]),
+            )
+        else:
+            cj = (cy + near_y) * grid.nx + (cx + near_x)
+            if self._pair_type_fast.get((native, cj)) == side:
+                extra.add(cj)
+            if near_x != 0:
+                qx = cx + (near_x > 0)
+                supp = ((qx, cy), (qx, cy + 1))
+            else:
+                qy = cy + (near_y > 0)
+                supp = ((cx, qy), (cx + 1, qy))
+
+        two_eps_sq = 4.0 * eps * eps
+        for corner in supp:
+            plan = self._plans.get((corner, native, side))
+            if plan is None or not plan.supar_rules:
+                continue
+            dx = x - plan.ref[0]
+            dy = y - plan.ref[1]
+            if dx * dx + dy * dy > two_eps_sq:
+                continue
+            for cj_mbr, dest in plan.supar_rules:
+                if cj_mbr.mindist_point(x, y) <= eps:
+                    extra.add(dest)
+
+        extra.discard(native)
+        return (native, *sorted(extra))
+
+    def assign_batch(
+        self, xs: np.ndarray, ys: np.ndarray, side: Side
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assign many points at once.
+
+        Returns parallel arrays ``(cell_ids, point_indices)``: one entry per
+        (cell, point) assignment.  Points in the no-replication area are
+        handled vectorized; only border-area points take the per-point path.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        grid = self.grid
+        cx = np.clip(((xs - grid.mbr.xmin) / grid.cell_w).astype(np.int64), 0, grid.nx - 1)
+        cy = np.clip(((ys - grid.mbr.ymin) / grid.cell_h).astype(np.int64), 0, grid.ny - 1)
+        native = cy * grid.nx + cx
+
+        x0 = grid.mbr.xmin + cx * grid.cell_w
+        y0 = grid.mbr.ymin + cy * grid.cell_h
+        eps = grid.eps
+        near = (
+            ((x0 + grid.cell_w - xs <= eps) & (cx + 1 < grid.nx))
+            | ((xs - x0 <= eps) & (cx > 0))
+            | ((y0 + grid.cell_h - ys <= eps) & (cy + 1 < grid.ny))
+            | ((ys - y0 <= eps) & (cy > 0))
+        )
+
+        cells = [native[~near]]
+        idxs = [np.nonzero(~near)[0]]
+        border_idx = np.nonzero(near)[0]
+        extra_cells: list[int] = []
+        extra_points: list[int] = []
+        assign_fast = self._assign_fast
+        xs_list = xs[border_idx].tolist()
+        ys_list = ys[border_idx].tolist()
+        for i, x, y in zip(border_idx.tolist(), xs_list, ys_list):
+            for cell in assign_fast(x, y, side):
+                extra_cells.append(cell)
+                extra_points.append(i)
+        cells.append(np.asarray(extra_cells, dtype=np.int64))
+        idxs.append(np.asarray(extra_points, dtype=np.int64))
+        return np.concatenate(cells), np.concatenate(idxs)
+
+
+def count_replicas(assignments: Iterable[tuple[int, ...]]) -> int:
+    """Total replicated objects over a stream of assignment tuples."""
+    return sum(len(a) - 1 for a in assignments)

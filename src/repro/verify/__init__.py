@@ -1,0 +1,20 @@
+"""Ground-truth joins and assignment verification utilities."""
+
+from repro.verify.oracle import (
+    VerificationResult,
+    assignment_join_pairs,
+    brute_force_pairs,
+    kdtree_pairs,
+    verify_assignment,
+)
+from repro.verify.invariants import ResultValidation, validate_join_result
+
+__all__ = [
+    "ResultValidation",
+    "VerificationResult",
+    "assignment_join_pairs",
+    "brute_force_pairs",
+    "kdtree_pairs",
+    "validate_join_result",
+    "verify_assignment",
+]

@@ -1,0 +1,70 @@
+"""Public validation helpers for join results.
+
+Downstream users (and the test suite) can check any
+:class:`~repro.joins.distance_join.JoinResult` against the centralized
+oracle and the engine's accounting invariants with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.pointset import PointSet
+from repro.joins.distance_join import JoinResult
+from repro.verify.oracle import kdtree_pairs
+
+
+@dataclass
+class ResultValidation:
+    """Outcome of validating one join result."""
+
+    matches_oracle: bool
+    duplicate_free: bool
+    metrics_consistent: bool
+    issues: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return self.matches_oracle and self.duplicate_free and self.metrics_consistent
+
+
+def validate_join_result(
+    result: JoinResult, r: PointSet, s: PointSet, eps: float
+) -> ResultValidation:
+    """Check a join result for correctness, duplicates and accounting.
+
+    Recomputes the ground truth centrally (KD-tree), so intended for
+    test-scale data.
+    """
+    issues: list[str] = []
+    truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), eps)
+    produced = result.pairs_set()
+
+    matches = produced == truth
+    if not matches:
+        missing = len(truth - produced)
+        spurious = len(produced - truth)
+        issues.append(f"{missing} missing and {spurious} spurious pairs")
+
+    duplicate_free = len(result) == len(produced)
+    if not duplicate_free:
+        issues.append(f"{len(result) - len(produced)} duplicated pairs")
+
+    m = result.metrics
+    metrics_ok = True
+    if m.results != len(result):
+        metrics_ok = False
+        issues.append("metrics.results disagrees with the pair arrays")
+    if m.shuffle_records and m.shuffle_records != m.input_r + m.input_s + m.replicated_total:
+        metrics_ok = False
+        issues.append("shuffle_records != inputs + replicated")
+    if not (0 <= m.remote_bytes <= m.shuffle_bytes):
+        metrics_ok = False
+        issues.append("remote bytes outside [0, shuffle bytes]")
+
+    return ResultValidation(
+        matches_oracle=matches,
+        duplicate_free=duplicate_free,
+        metrics_consistent=metrics_ok,
+        issues=issues,
+    )

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.agreements.graph import AgreementGraph
+from repro.data.generators import gaussian_clusters
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+
+
+@pytest.fixture
+def grid2x2() -> Grid:
+    """A 2x2 grid with eps=1 and cell side 2.5 (one quartet)."""
+    return Grid(MBR(0, 0, 5, 5), eps=1.0)
+
+
+@pytest.fixture
+def grid3x2() -> Grid:
+    """A 3x2 grid with eps=1 (two quartets sharing a side pair)."""
+    return Grid(MBR(0, 0, 7.5, 5), eps=1.0)
+
+
+@pytest.fixture
+def grid4x4() -> Grid:
+    """A 4x4 grid with eps=1 (nine quartets)."""
+    return Grid(MBR(0, 0, 10, 10), eps=1.0)
+
+
+def make_graph(grid: Grid, types) -> AgreementGraph:
+    """An agreement graph from a type assignment.
+
+    ``types`` is either a single :class:`Side` (uniform) or a sequence of
+    sides matching ``grid.adjacent_pairs()`` order.
+    """
+    pairs = [frozenset(p[:2]) for p in grid.adjacent_pairs()]
+    if isinstance(types, Side):
+        types = [types] * len(pairs)
+    return AgreementGraph(grid, dict(zip(pairs, types)))
+
+
+def all_type_combos(grid: Grid):
+    """Every agreement-type assignment for a (small) grid."""
+    n = sum(1 for _ in grid.adjacent_pairs())
+    return itertools.product([Side.R, Side.S], repeat=n)
+
+
+@pytest.fixture
+def small_clusters():
+    """A pair of small clustered point sets for end-to-end tests."""
+    r = gaussian_clusters(1500, seed=11, name="R")
+    s = gaussian_clusters(1500, seed=22, name="S")
+    return r, s

@@ -1,0 +1,49 @@
+"""Tests for the high-level public API."""
+
+import numpy as np
+import pytest
+
+from repro import ALL_METHODS, spatial_join
+from repro.data.generators import gaussian_clusters
+
+
+class TestSpatialJoin:
+    def test_accepts_coordinate_arrays(self):
+        r = np.array([[0.1, 0.1], [0.9, 0.9]])
+        s = np.array([[0.12, 0.1]])
+        res = spatial_join(r, s, eps=0.05, method="uni_r")
+        assert res.pairs_set() == {(0, 0)}
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            spatial_join(np.zeros((3, 3)), np.zeros((3, 2)), eps=0.1)
+
+    def test_rejects_unknown_method(self):
+        r = gaussian_clusters(50, seed=1)
+        with pytest.raises(ValueError):
+            spatial_join(r, r, eps=0.01, method="quantum")
+
+    def test_all_methods_agree(self):
+        r = gaussian_clusters(600, seed=51)
+        s = gaussian_clusters(600, seed=52)
+        reference = None
+        for method in ALL_METHODS:
+            res = spatial_join(r, s, eps=0.02, method=method)
+            got = res.pairs_set()
+            assert len(res) == len(got), method  # duplicate-free
+            if reference is None:
+                reference = got
+            assert got == reference, method
+
+    def test_options_forwarded(self):
+        r = gaussian_clusters(300, seed=53)
+        s = gaussian_clusters(300, seed=54)
+        res = spatial_join(r, s, eps=0.02, method="lpib", num_workers=5)
+        assert res.metrics.num_workers == 5
+
+    def test_naive_metrics(self):
+        r = gaussian_clusters(100, seed=55)
+        s = gaussian_clusters(100, seed=56)
+        res = spatial_join(r, s, eps=0.02, method="naive")
+        assert res.metrics.method == "naive"
+        assert res.metrics.results == len(res)

@@ -1,0 +1,146 @@
+"""Unit tests for replication-area classification (Fig. 9)."""
+
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.grid.areas import AreaKind, classify_point
+from repro.grid.grid import Grid
+
+
+class TestInterior:
+    def test_cell_center_is_no_replication(self, grid4x4):
+        info = classify_point(grid4x4, 3.75, 3.75)  # center of cell (1,1)
+        assert info.kind is AreaKind.NO_REPLICATION
+        assert (info.cx, info.cy) == (1, 1)
+        assert info.supplementary_corners == ()
+
+    def test_near_outer_boundary_is_no_replication(self, grid4x4):
+        # within eps of the grid's own boundary: no neighbour exists
+        info = classify_point(grid4x4, 0.2, 1.3)
+        assert info.kind is AreaKind.NO_REPLICATION
+
+
+class TestPlain:
+    def test_near_east(self, grid4x4):
+        info = classify_point(grid4x4, 2.4, 3.75)  # cell (0,1), near x=2.5
+        assert info.kind is AreaKind.PLAIN
+        assert (info.near_x, info.near_y) == (1, 0)
+
+    def test_near_west(self, grid4x4):
+        info = classify_point(grid4x4, 2.6, 3.75)  # cell (1,1), near x=2.5
+        assert (info.near_x, info.near_y) == (-1, 0)
+
+    def test_near_north(self, grid4x4):
+        info = classify_point(grid4x4, 3.75, 4.9)
+        assert (info.near_x, info.near_y) == (0, 1)
+
+    def test_near_south(self, grid4x4):
+        info = classify_point(grid4x4, 3.75, 5.1)
+        assert (info.near_x, info.near_y) == (0, -1)
+
+    def test_supplementary_corners_are_border_ends(self, grid4x4):
+        # near the east border of cell (1,1): corners (2,1) and (2,2)
+        info = classify_point(grid4x4, 4.9, 3.8)
+        assert set(info.supplementary_corners) == {(2, 1), (2, 2)}
+
+    def test_supplementary_corners_nearest_first(self, grid4x4):
+        info = classify_point(grid4x4, 4.9, 3.9)  # closer to corner (2,2) at y=5
+        assert info.supplementary_corners[0] == (2, 2)
+
+    def test_boundary_corner_filtered(self, grid4x4):
+        # east border of cell (0,0), lower end corner (1,0) is on the
+        # grid boundary -> only (1,1) remains
+        info = classify_point(grid4x4, 2.4, 0.3)
+        assert info.kind is AreaKind.PLAIN
+        assert info.supplementary_corners == ((1, 1),)
+
+
+class TestMergedDuplicateProne:
+    def test_square_zone_detected(self, grid4x4):
+        # cell (0,0), near east (x=2.5) and north (y=2.5): corner (1,1)
+        info = classify_point(grid4x4, 2.2, 2.2)
+        assert info.kind is AreaKind.MERGED_DUPLICATE_PRONE
+        assert info.corner == (1, 1)
+
+    def test_all_four_orientations(self, grid4x4):
+        # around corner (2,2) at coords (5,5)
+        cases = {
+            (4.8, 4.8): (1, 1),  # bl cell of the quartet
+            (5.2, 4.8): (2, 1),  # br
+            (4.8, 5.2): (1, 2),  # tl
+            (5.2, 5.2): (2, 2),  # tr
+        }
+        for (x, y), cell in cases.items():
+            info = classify_point(grid4x4, x, y)
+            assert info.kind is AreaKind.MERGED_DUPLICATE_PRONE
+            assert info.corner == (2, 2)
+            assert (info.cx, info.cy) == cell
+
+    def test_supplementary_corners_adjacent_to_own(self, grid4x4):
+        info = classify_point(grid4x4, 4.8, 4.8)  # corner (2,2) from bl
+        # other end of E border: (2,1); other end of N border: (1,2)
+        assert set(info.supplementary_corners) == {(2, 1), (1, 2)}
+
+    def test_boundary_adjacent_corners_filtered(self, grid4x4):
+        info = classify_point(grid4x4, 2.2, 2.3)  # corner (1,1) from cell (0,0)
+        # candidates (1,0) and (0,1) are boundary corners
+        assert info.corner == (1, 1)
+        assert info.supplementary_corners == ()
+
+    def test_exact_eps_boundary_included(self, grid2x2):
+        # distance to border exactly eps counts as near (<=)
+        info = classify_point(grid2x2, 1.5, 1.5)  # 1.0 from x=2.5 and y=2.5
+        assert info.kind is AreaKind.MERGED_DUPLICATE_PRONE
+
+
+class TestDegenerateGrids:
+    def test_single_cell_grid(self):
+        g = Grid(MBR(0, 0, 2, 2), eps=1.0)
+        assert (g.nx, g.ny) == (1, 1)
+        info = classify_point(g, 1.9, 0.1)
+        assert info.kind is AreaKind.NO_REPLICATION
+
+    def test_single_row_never_merged(self):
+        g = Grid(MBR(0, 0, 10, 2.4), eps=1.0)
+        assert g.ny == 1
+        for x in [2.4, 2.6, 4.9, 5.1]:
+            info = classify_point(g, x, 1.2)
+            assert info.kind in (AreaKind.PLAIN, AreaKind.NO_REPLICATION)
+            assert info.near_y == 0
+            assert info.supplementary_corners == ()
+
+
+def test_classification_is_exhaustive(grid4x4):
+    """Every point gets exactly one area kind without errors."""
+    step = 0.37
+    x = 0.05
+    while x < 10:
+        y = 0.05
+        while y < 10:
+            info = classify_point(grid4x4, x, y)
+            assert info.kind in AreaKind
+            if info.kind is AreaKind.MERGED_DUPLICATE_PRONE:
+                assert grid4x4.is_interior_corner(*info.corner)
+                assert info.near_x != 0 and info.near_y != 0
+            y += step
+        x += step
+
+
+def test_merged_zone_matches_mindist_definition(grid4x4):
+    """A point is in the merged square iff it is within eps of two existing
+    neighbour cells across perpendicular borders."""
+    import itertools
+
+    eps = grid4x4.eps
+    for x, y in itertools.product([i * 0.31 + 0.02 for i in range(32)], repeat=2):
+        info = classify_point(grid4x4, x, y)
+        cx, cy = grid4x4.cell_index(x, y)
+        near_two = False
+        for dx, dy in [(1, 1), (1, -1), (-1, 1), (-1, -1)]:
+            if not grid4x4.in_bounds(cx + dx, cy + dy):
+                continue
+            mx = grid4x4.cell_mbr(cx + dx, cy).mindist_point(x, y) <= eps
+            my = grid4x4.cell_mbr(cx, cy + dy).mindist_point(x, y) <= eps
+            if mx and my:
+                near_two = True
+        assert (info.kind is AreaKind.MERGED_DUPLICATE_PRONE) == near_two, (x, y)

@@ -1,0 +1,161 @@
+"""Unit tests for the benchmark harness, reporting and registry."""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import ExperimentContext, table1_running_example
+from repro.bench.harness import (
+    ADAPTIVE_METHODS,
+    ALL_COMPARED,
+    COMBOS,
+    EPS_SWEEP,
+    BenchScale,
+    DatasetCache,
+    run_method,
+)
+from repro.bench.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+)
+from repro.bench.report import _fmt, format_series, format_table, write_report
+
+
+class TestBenchScale:
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_N", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_QUICK", raising=False)
+        scale = BenchScale.from_env()
+        assert scale.base_n == 20000
+        assert not scale.quick
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_N", "1234")
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        scale = BenchScale.from_env()
+        assert scale.base_n == 1234
+        assert scale.quick
+
+
+class TestDatasetCache:
+    def test_memoizes(self):
+        cache = DatasetCache(BenchScale(base_n=500, quick=True))
+        a = cache.get("S1")
+        b = cache.get("S1")
+        assert a is b
+
+    def test_combo(self):
+        cache = DatasetCache(BenchScale(base_n=500, quick=True))
+        r, s = cache.combo(("R2", "S1"))
+        assert r.name == "R2" and s.name == "S1"
+        assert len(r) == 214  # 0.427 * 500
+
+    def test_distinct_payloads_cached_separately(self):
+        cache = DatasetCache(BenchScale(base_n=300, quick=True))
+        assert cache.get("S1").record_bytes != cache.get("S1", payload_bytes=64).record_bytes
+
+
+class TestContextMemoization:
+    def test_eps_sweep_computed_once(self):
+        ctx = ExperimentContext(BenchScale(base_n=400, quick=True))
+        first = ctx.eps_sweep(("S1", "S2"))
+        second = ctx.eps_sweep(("S1", "S2"))
+        assert first is second
+
+    def test_quick_mode_shrinks_sweeps(self):
+        quick = ExperimentContext(BenchScale(base_n=400, quick=True))
+        assert quick.eps_values() == EPS_SWEEP[:2]
+        assert quick.size_factors() == (1, 2, 4)
+
+
+class TestReport:
+    def test_fmt(self):
+        assert _fmt(1234) == "1,234"
+        assert _fmt(0.5) == "0.5"
+        assert _fmt(1.23e-7) == "1.23e-07"
+        assert _fmt("x") == "x"
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_format_table_empty_rows(self):
+        text = format_table("T", ["a"], [])
+        assert "a" in text
+
+    def test_format_series(self):
+        text = format_series("S", "x", [1, 2], {"m": [10, 20]})
+        assert "m" in text and "10" in text
+
+    def test_write_report(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr("repro.bench.report.RESULTS_DIR", str(tmp_path))
+        path = write_report("unit", "== hello ==")
+        assert os.path.exists(path)
+        assert "hello" in capsys.readouterr().out
+
+    def test_write_csv(self, tmp_path, monkeypatch):
+        from repro.bench.report import write_csv
+
+        monkeypatch.setattr("repro.bench.report.RESULTS_DIR", str(tmp_path))
+        path = write_csv("unit", ["a", "b"], [[1, 2], [3, 4]])
+        content = open(path).read()
+        assert content.splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_series_to_csv(self, tmp_path, monkeypatch):
+        from repro.bench.report import series_to_csv
+
+        monkeypatch.setattr("repro.bench.report.RESULTS_DIR", str(tmp_path))
+        path = series_to_csv("s", "eps", [0.1, 0.2], {"m1": [1, 2], "m2": [3, 4]})
+        lines = open(path).read().splitlines()
+        assert lines[0] == "eps,m1,m2"
+        assert lines[1] == "0.1,1,3"
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        names = available_experiments()
+        for required in (
+            "fig1b", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18",
+            "table1", "table4", "table5", "table6", "table7",
+            "ext-cost-model", "ext-generalized", "ext-objects",
+        ):
+            assert required in names, required
+
+    def test_run_experiment(self):
+        ctx = ExperimentContext(BenchScale(base_n=300, quick=True))
+        text, data = run_experiment("table1", ctx)
+        assert "41" in text
+
+    def test_unknown_experiment(self):
+        ctx = ExperimentContext(BenchScale(base_n=300, quick=True))
+        with pytest.raises(ValueError):
+            run_experiment("fig99", ctx)
+
+    def test_registry_callables(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+
+class TestHarnessConstants:
+    def test_method_sets(self):
+        assert set(ADAPTIVE_METHODS) <= set(ALL_COMPARED)
+        assert "sedona" in ALL_COMPARED
+        assert len(COMBOS) == 3
+
+    def test_run_method_dispatch(self):
+        scale = BenchScale(base_n=300, quick=True)
+        cache = DatasetCache(scale)
+        r, s = cache.combo(("S1", "S2"))
+        grid_m = run_method(r, s, 0.02, "lpib", scale)
+        sedona_m = run_method(r, s, 0.02, "sedona", scale)
+        assert grid_m.method == "lpib"
+        assert sedona_m.method == "sedona"
+        assert grid_m.results == sedona_m.results
+
+    def test_table1_needs_no_context(self):
+        text, results = table1_running_example(None)
+        assert results["uni_r"]["total"] == 41

@@ -1,0 +1,61 @@
+"""Tests for broadcast-variable size modelling."""
+
+import pytest
+
+from repro.agreements.marking import generate_duplicate_free_graph
+from repro.data.generators import gaussian_clusters
+from repro.engine.broadcast import (
+    BroadcastCost,
+    agreement_broadcast_bytes,
+    broadcast_cost,
+    grid_broadcast_bytes,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.joins.distance_join import JoinConfig, distance_join
+from tests.conftest import make_graph
+
+
+class TestSizes:
+    def test_grid_broadcast_scales_with_cells(self):
+        small = grid_broadcast_bytes(Grid(MBR(0, 0, 10, 10), 1.0))
+        large = grid_broadcast_bytes(Grid(MBR(0, 0, 100, 100), 1.0))
+        assert large > small
+
+    def test_agreement_broadcast_exceeds_bare_grid(self, grid4x4):
+        graph = make_graph(grid4x4, Side.R)
+        generate_duplicate_free_graph(graph)
+        assert agreement_broadcast_bytes(graph) > grid_broadcast_bytes(grid4x4)
+
+    def test_agreement_broadcast_counts_edges(self, grid4x4):
+        graph = make_graph(grid4x4, Side.R)
+        size = agreement_broadcast_bytes(graph)
+        # 9 quartets x 12 edges at 24B each must be included
+        assert size >= 9 * 12 * 24
+
+
+class TestCost:
+    def test_total_bytes_excludes_driver(self):
+        cost = broadcast_cost(1000, num_workers=4)
+        assert cost.total_bytes == 3000
+
+    def test_single_worker_free(self):
+        assert broadcast_cost(1000, num_workers=1).total_bytes == 0
+
+    def test_time_model_is_one_payload(self):
+        cost = BroadcastCost(10_000, 8)
+        assert cost.time_model(1e-8) == pytest.approx(1e-4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast_cost(-1, 2)
+
+
+class TestDriverIntegration:
+    def test_metrics_carry_broadcast_bytes(self):
+        r = gaussian_clusters(800, seed=1)
+        s = gaussian_clusters(800, seed=2)
+        adaptive = distance_join(r, s, JoinConfig(eps=0.02, method="lpib")).metrics
+        uni = distance_join(r, s, JoinConfig(eps=0.02, method="uni_r")).metrics
+        assert adaptive.extra["broadcast_bytes"] > uni.extra["broadcast_bytes"] > 0

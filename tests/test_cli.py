@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import read_points_text
+
+
+class TestJoin:
+    def test_join_generated(self, capsys):
+        rc = main(["join", "--r", "S1", "--s", "S2", "--base-n", "1500",
+                   "--eps", "0.02", "--method", "uni_r"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "uni_r" in out
+        assert "results=" in out
+
+    def test_join_show_pairs(self, capsys):
+        rc = main(["join", "--base-n", "1500", "--eps", "0.02",
+                   "--show-pairs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("(") >= 2
+
+    def test_join_from_files(self, tmp_path, capsys):
+        for name in ("S1", "S2"):
+            main(["generate", name, str(tmp_path / f"{name}.txt"),
+                  "--base-n", "800"])
+        capsys.readouterr()
+        rc = main(["join", "--r", str(tmp_path / "S1.txt"),
+                   "--s", str(tmp_path / "S2.txt"), "--eps", "0.02"])
+        assert rc == 0
+        assert "lpib" in capsys.readouterr().out
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--method", "bogus"])
+
+
+class TestExperiment:
+    def test_list(self, capsys):
+        rc = main(["experiment", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig13" in out
+
+    def test_run_table1(self, capsys):
+        rc = main(["experiment", "table1", "--quick", "--base-n", "1000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "41" in out and "42" in out
+
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "nope"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_name(self, capsys):
+        rc = main(["experiment"])
+        assert rc == 2
+
+
+class TestPredict:
+    def test_predict_recommends(self, capsys):
+        rc = main(["predict", "--base-n", "2000", "--sample-rate", "0.2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended method:" in out
+        assert "replicas" in out
+
+
+class TestGenerate:
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "r1.txt"
+        rc = main(["generate", "R1", str(path), "--base-n", "1000"])
+        assert rc == 0
+        ps = read_points_text(str(path))
+        assert len(ps) == 941  # R1's relative cardinality
+
+    def test_bad_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "X1", "out.txt"])
+
+
+class TestReport:
+    def test_report_subset(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main(["report", "--output", str(out), "--quick",
+                   "--base-n", "800", "--only", "table1"])
+        assert rc == 0
+        content = out.read_text()
+        assert "# Reproduction report" in content
+        assert "## table1" in content and "41" in content
+
+    def test_report_unknown_experiment(self, tmp_path, capsys):
+        rc = main(["report", "--output", str(tmp_path / "r.md"),
+                   "--only", "bogus"])
+        assert rc == 2
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["join", "--eps", "0.5"])
+    assert args.eps == 0.5
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

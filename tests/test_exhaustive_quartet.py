@@ -1,0 +1,182 @@
+"""Exhaustive point-level verification of the adaptive-replication core.
+
+These are the arbiters for Theorems/Lemmas 4.5-4.8 and Algorithms 1-4: on
+small grids we enumerate agreement-type assignments and verify -- against
+dense near-corner point clouds -- that the marked graph yields a join
+partitioning that is simultaneously *correct* (no pair lost) and
+*duplicate-free* (no pair reported twice).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.agreements.graph import AgreementGraph
+from repro.agreements.marking import generate_duplicate_free_graph
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.replication.assign import AdaptiveAssigner
+from repro.verify.oracle import kdtree_pairs, verify_assignment
+
+EPS = 1.0
+
+
+def dense_points(x_hi, y_hi, step=0.5, offset=(0.0, 0.0)):
+    pts = []
+    pid = 0
+    x = 0.3 + offset[0]
+    while x <= x_hi:
+        y = 0.3 + offset[1]
+        while y <= y_hi:
+            pts.append((pid, round(x, 6), round(y, 6)))
+            pid += 1
+            y += step
+        x += step
+    return pts
+
+
+@pytest.fixture(scope="module")
+def grid_2x2():
+    return Grid(MBR(0, 0, 5, 5), EPS)
+
+
+@pytest.fixture(scope="module")
+def cloud_2x2():
+    r_pts = dense_points(4.7, 4.7)
+    s_pts = dense_points(4.7, 4.7, offset=(0.09, 0.07))
+    return r_pts, s_pts, kdtree_pairs(r_pts, s_pts, EPS)
+
+
+def test_all_64_agreement_instances_on_one_quartet(grid_2x2, cloud_2x2):
+    r_pts, s_pts, expected = cloud_2x2
+    pairs = [frozenset(p[:2]) for p in grid_2x2.adjacent_pairs()]
+    assert len(pairs) == 6
+    for combo in itertools.product([Side.R, Side.S], repeat=6):
+        graph = AgreementGraph(grid_2x2, dict(zip(pairs, combo)))
+        generate_duplicate_free_graph(graph)
+        res = verify_assignment(
+            AdaptiveAssigner(grid_2x2, graph), r_pts, s_pts, EPS, expected=expected
+        )
+        assert res.ok, (combo, res.describe())
+
+
+def test_random_weights_change_marking_order_not_properties(grid_2x2, cloud_2x2):
+    """Algorithm 1's outcome depends on edge weights; every outcome must
+    still be correct and duplicate-free."""
+    r_pts, s_pts, expected = cloud_2x2
+    pairs = [frozenset(p[:2]) for p in grid_2x2.adjacent_pairs()]
+    rng = random.Random(42)
+    for _ in range(40):
+        combo = [rng.choice([Side.R, Side.S]) for _ in pairs]
+        graph = AgreementGraph(grid_2x2, dict(zip(pairs, combo)))
+        for sub in graph.quartets.values():
+            for e in sub.edges():
+                e.weight = rng.randrange(1000)
+        generate_duplicate_free_graph(graph)
+        res = verify_assignment(
+            AdaptiveAssigner(grid_2x2, graph), r_pts, s_pts, EPS, expected=expected
+        )
+        assert res.ok, (combo, res.describe())
+
+
+def test_cross_quartet_interactions_on_3x2_grid():
+    """Two quartets share a side pair (two independent edge copies); a
+    random sample of the 2^11 agreement instances must stay correct and
+    duplicate-free, including supplementary areas that reach across."""
+    grid = Grid(MBR(0, 0, 7.5, 5), EPS)
+    assert (grid.nx, grid.ny) == (3, 2)
+    pairs = [frozenset(p[:2]) for p in grid.adjacent_pairs()]
+    assert len(pairs) == 11
+    r_pts = dense_points(7.2, 4.7)
+    s_pts = dense_points(7.2, 4.7, offset=(0.09, 0.07))
+    expected = kdtree_pairs(r_pts, s_pts, EPS)
+
+    rng = random.Random(7)
+    combos = [
+        tuple(rng.choice([Side.R, Side.S]) for _ in pairs) for _ in range(150)
+    ]
+    # always include the two uniform instances and an alternating one
+    combos += [
+        tuple([Side.R] * 11),
+        tuple([Side.S] * 11),
+        tuple(Side.R if i % 2 else Side.S for i in range(11)),
+    ]
+    for combo in combos:
+        graph = AgreementGraph(grid, dict(zip(pairs, combo)))
+        for sub in graph.quartets.values():
+            for e in sub.edges():
+                e.weight = rng.randrange(1000)
+        generate_duplicate_free_graph(graph)
+        res = verify_assignment(
+            AdaptiveAssigner(grid, graph), r_pts, s_pts, EPS, expected=expected
+        )
+        assert res.ok, (combo, res.describe())
+
+
+def test_narrow_cells_supplementary_overlap():
+    """Cell sides barely above 2 eps maximize area overlaps (supplementary
+    areas spanning most of a cell)."""
+    grid = Grid(MBR(0, 0, 4.2, 4.2), EPS)
+    assert grid.cell_w == pytest.approx(2.1)
+    pairs = [frozenset(p[:2]) for p in grid.adjacent_pairs()]
+    r_pts = dense_points(4.0, 4.0, step=0.4)
+    s_pts = dense_points(4.0, 4.0, step=0.4, offset=(0.06, 0.11))
+    expected = kdtree_pairs(r_pts, s_pts, EPS)
+    for combo in itertools.product([Side.R, Side.S], repeat=len(pairs)):
+        graph = AgreementGraph(grid, dict(zip(pairs, combo)))
+        generate_duplicate_free_graph(graph)
+        res = verify_assignment(
+            AdaptiveAssigner(grid, graph), r_pts, s_pts, EPS, expected=expected
+        )
+        assert res.ok, (combo, res.describe())
+
+
+def test_interior_cell_on_3x3_grid():
+    """A fully surrounded cell participates in four quartets at once; its
+    points can replicate across any of its eight borders/corners."""
+    grid = Grid(MBR(0, 0, 7.5, 7.5), EPS)
+    assert (grid.nx, grid.ny) == (3, 3)
+    pairs = [frozenset(p[:2]) for p in grid.adjacent_pairs()]
+    assert len(pairs) == 20
+
+    # concentrate points around the centre cell's borders and corners
+    r_pts = dense_points(7.2, 7.2, step=0.55)
+    s_pts = dense_points(7.2, 7.2, step=0.55, offset=(0.08, 0.06))
+    expected = kdtree_pairs(r_pts, s_pts, EPS)
+
+    rng = random.Random(19)
+    combos = [
+        tuple(rng.choice([Side.R, Side.S]) for _ in pairs) for _ in range(45)
+    ]
+    combos.append(tuple([Side.R] * 20))
+    combos.append(tuple(Side.R if i % 2 else Side.S for i in range(20)))
+    for combo in combos:
+        graph = AgreementGraph(grid, dict(zip(pairs, combo)))
+        for sub in graph.quartets.values():
+            for e in sub.edges():
+                e.weight = rng.randrange(100)
+        generate_duplicate_free_graph(graph)
+        res = verify_assignment(
+            AdaptiveAssigner(grid, graph), r_pts, s_pts, EPS, expected=expected
+        )
+        assert res.ok, (combo, res.describe())
+
+
+def test_unmarked_mixed_graph_is_correct_but_duplicates(grid_2x2, cloud_2x2):
+    """Corollary 4.6 and Lemma 4.8: without marking, correctness holds but
+    the duplicate-free property is lost for mixed instances."""
+    r_pts, s_pts, expected = cloud_2x2
+    pairs = [frozenset(p[:2]) for p in grid_2x2.adjacent_pairs()]
+    saw_duplicates = False
+    for combo in itertools.product([Side.R, Side.S], repeat=6):
+        graph = AgreementGraph(grid_2x2, dict(zip(pairs, combo)))
+        # no marking pass
+        res = verify_assignment(
+            AdaptiveAssigner(grid_2x2, graph), r_pts, s_pts, EPS, expected=expected
+        )
+        assert res.correct, (combo, res.describe())
+        if not res.duplicate_free:
+            saw_duplicates = True
+    assert saw_duplicates, "expected duplicates for some mixed instance"

@@ -1,0 +1,147 @@
+"""Tests for the SVG figure renderer."""
+
+import os
+
+import pytest
+
+from repro.bench.figures import (
+    PALETTE,
+    _fmt_tick,
+    _nice_ticks,
+    render_line_chart,
+    save_figure,
+)
+
+
+class TestTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0, 97)
+        assert ticks[0] <= 0 and ticks[-1] >= 97
+
+    def test_rounded_steps(self):
+        ticks = _nice_ticks(0, 10)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5, 5)
+        assert len(ticks) >= 2
+
+    def test_fmt_tick(self):
+        assert _fmt_tick(0) == "0"
+        assert _fmt_tick(1_000_000) == "1e+06"
+        assert _fmt_tick(250) == "250"
+        assert _fmt_tick(0.5) == "0.5"
+
+
+class TestRender:
+    def test_valid_svg(self):
+        svg = render_line_chart(
+            "T", "x", "y", [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}
+        )
+        assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "T" in svg and ">a<" in svg and ">b<" in svg
+
+    def test_log_scale(self):
+        svg = render_line_chart(
+            "T", "x", "y", [1, 2], {"a": [10, 100_000]}, log_y=True
+        )
+        assert "1e1" in svg and "1e5" in svg
+
+    def test_log_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            render_line_chart("T", "x", "y", [1, 2], {"a": [0, 5]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart("T", "x", "y", [], {})
+
+    def test_none_values_skipped(self):
+        svg = render_line_chart("T", "x", "y", [1, 2, 3], {"a": [1, None, 3]})
+        assert svg.count("<circle") == 2
+
+    def test_many_series_cycle_palette(self):
+        series = {f"s{i}": [i, i + 1] for i in range(len(PALETTE) + 2)}
+        svg = render_line_chart("T", "x", "y", [0, 1], series)
+        assert svg.count("<polyline") == len(series)
+
+    def test_constant_x_handled(self):
+        svg = render_line_chart("T", "x", "y", [5, 5], {"a": [1, 2]})
+        assert "<polyline" in svg
+
+
+class TestBarChart:
+    def test_valid_svg(self):
+        from repro.bench.figures import render_bar_chart
+
+        svg = render_bar_chart(
+            "T", "y", ["a", "b"], {"s1": [1, 2], "s2": [3, 4]}
+        )
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") >= 1 + 4 + 2  # background + bars + legend
+
+    def test_log_scale(self):
+        from repro.bench.figures import render_bar_chart
+
+        svg = render_bar_chart("T", "y", ["a"], {"s": [1000]}, log_y=True)
+        assert "1e3" in svg
+
+    def test_log_rejects_non_positive(self):
+        from repro.bench.figures import render_bar_chart
+
+        with pytest.raises(ValueError):
+            render_bar_chart("T", "y", ["a"], {"s": [0]}, log_y=True)
+
+    def test_empty_rejected(self):
+        from repro.bench.figures import render_bar_chart
+
+        with pytest.raises(ValueError):
+            render_bar_chart("T", "y", [], {})
+
+    def test_save_bar_figure(self, tmp_path):
+        from repro.bench.figures import save_bar_figure
+
+        path = save_bar_figure(
+            "bars", "T", "y", ["a"], {"s": [2]}, directory=str(tmp_path)
+        )
+        assert os.path.exists(path)
+
+
+class TestStackedBarChart:
+    def test_valid_svg(self):
+        from repro.bench.figures import render_stacked_bar_chart
+
+        svg = render_stacked_bar_chart(
+            "T", "y", ["x1", "x2"],
+            {"m1": {"a": [1, 2], "b": [3, 4]},
+             "m2": {"a": [2, 1], "b": [1, 1]}},
+        )
+        assert svg.startswith("<svg")
+        # 1 background + 2 legend squares + 2 groups x 2 cats x 2 layers bars
+        assert svg.count("<rect") >= 11
+
+    def test_layer_legend(self):
+        from repro.bench.figures import render_stacked_bar_chart
+
+        svg = render_stacked_bar_chart(
+            "T", "y", ["c"], {"g": {"constr": [1], "join": [2]}}
+        )
+        assert ">constr<" in svg and ">join<" in svg
+
+    def test_empty_rejected(self):
+        from repro.bench.figures import render_stacked_bar_chart
+
+        with pytest.raises(ValueError):
+            render_stacked_bar_chart("T", "y", [], {})
+
+
+class TestSave:
+    def test_save_figure(self, tmp_path):
+        path = save_figure(
+            "testfig", "T", "x", "y", [1, 2], {"a": [1, 2]},
+            directory=str(tmp_path),
+        )
+        assert os.path.exists(path)
+        with open(path) as f:
+            assert f.read().startswith("<svg")

@@ -1,0 +1,114 @@
+"""Unit tests for the per-partition join kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.local import (
+    LOCAL_KERNELS,
+    grid_hash_join,
+    nested_loop_join,
+    plane_sweep_join,
+)
+
+
+def cloud(n, seed):
+    rng = np.random.default_rng(seed)
+    return (
+        np.arange(n, dtype=np.int64),
+        rng.uniform(0, 10, n),
+        rng.uniform(0, 10, n),
+    )
+
+
+def as_set(rids, sids):
+    return set(zip(rids.tolist(), sids.tolist()))
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("eps", [0.2, 0.7, 1.5])
+    def test_kernels_agree(self, eps):
+        r = cloud(120, 1)
+        s = cloud(140, 2)
+        reference = None
+        for name, kernel in LOCAL_KERNELS.items():
+            rid, sid, _c = kernel(*r, *s, eps)
+            got = as_set(rid, sid)
+            if reference is None:
+                reference = got
+            assert got == reference, name
+
+    def test_matches_brute_force_semantics(self):
+        r_ids = np.array([0, 1])
+        r_xs = np.array([0.0, 5.0])
+        r_ys = np.array([0.0, 5.0])
+        s_ids = np.array([7, 8])
+        s_xs = np.array([0.5, 9.0])
+        s_ys = np.array([0.0, 9.0])
+        rid, sid, cand = nested_loop_join(r_ids, r_xs, r_ys, s_ids, s_xs, s_ys, 1.0)
+        assert as_set(rid, sid) == {(0, 7)}
+        assert cand == 4
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("kernel", list(LOCAL_KERNELS.values()))
+    def test_empty_inputs(self, kernel):
+        e = np.empty(0, dtype=np.int64)
+        ef = np.empty(0, dtype=np.float64)
+        r = cloud(5, 3)
+        rid, sid, cand = kernel(e, ef, ef, *r, 1.0)
+        assert len(rid) == 0 and cand == 0
+        rid, sid, cand = kernel(*r, e, ef, ef, 1.0)
+        assert len(rid) == 0 and cand == 0
+
+    def test_threshold_inclusive(self):
+        one = np.array([0], dtype=np.int64)
+        for kernel in LOCAL_KERNELS.values():
+            rid, sid, _ = kernel(
+                one, np.array([0.0]), np.array([0.0]),
+                one, np.array([1.0]), np.array([0.0]),
+                1.0,
+            )
+            assert len(rid) == 1, kernel
+
+    def test_duplicate_coordinates(self):
+        ids = np.array([0, 1], dtype=np.int64)
+        xs = np.array([1.0, 1.0])
+        ys = np.array([1.0, 1.0])
+        for kernel in LOCAL_KERNELS.values():
+            rid, sid, _ = kernel(ids, xs, ys, ids, xs, ys, 0.5)
+            assert as_set(rid, sid) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestCandidates:
+    def test_plane_sweep_never_more_candidates_than_nested_loop(self):
+        r = cloud(100, 4)
+        s = cloud(100, 5)
+        _, _, c_nl = nested_loop_join(*r, *s, 0.8)
+        _, _, c_ps = plane_sweep_join(*r, *s, 0.8)
+        assert c_ps <= c_nl
+
+    def test_candidates_at_least_results(self):
+        r = cloud(80, 6)
+        s = cloud(80, 7)
+        for kernel in LOCAL_KERNELS.values():
+            rid, _sid, cand = kernel(*r, *s, 1.0)
+            assert cand >= len(rid)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 9999),
+    n=st.integers(1, 60),
+    m=st.integers(1, 60),
+    eps=st.floats(0.05, 3.0),
+)
+def test_property_kernels_equal(seed, n, m, eps):
+    r = cloud(n, seed)
+    s = cloud(m, seed + 1)
+    ref_rid, ref_sid, _ = nested_loop_join(*r, *s, eps)
+    ref = as_set(ref_rid, ref_sid)
+    for name, kernel in LOCAL_KERNELS.items():
+        rid, sid, _ = kernel(*r, *s, eps)
+        assert as_set(rid, sid) == ref, name

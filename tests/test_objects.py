@@ -1,0 +1,177 @@
+"""Unit tests for spatial objects with extent."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.object_generators import (
+    random_boxes,
+    random_polygons,
+    random_polylines,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import (
+    BoxObject,
+    PolygonObject,
+    PolylineObject,
+    objects_intersect,
+)
+from repro.geometry.point import Side
+
+
+def box(pid, x0, y0, x1, y1, side=Side.R):
+    return BoxObject(pid, MBR(x0, y0, x1, y1), side)
+
+
+class TestBoxObject:
+    def test_mbr_and_anchor(self):
+        b = box(1, 0, 0, 2, 4)
+        assert b.mbr() == MBR(0, 0, 2, 4)
+        assert b.anchor() == (1, 2)
+
+    def test_radius_is_half_diagonal(self):
+        b = box(1, 0, 0, 2, 4)
+        assert b.radius() == pytest.approx(math.hypot(1, 2))
+
+    def test_box_box_distance(self):
+        a = box(1, 0, 0, 1, 1)
+        assert a.distance_to(box(2, 2, 0, 3, 1)) == pytest.approx(1.0)
+        assert a.distance_to(box(3, 2, 2, 3, 3)) == pytest.approx(math.sqrt(2))
+        assert a.distance_to(box(4, 0.5, 0.5, 2, 2)) == 0.0
+
+    def test_intersects(self):
+        a = box(1, 0, 0, 1, 1)
+        assert a.intersects(box(2, 1, 1, 2, 2))  # corner touch
+        assert not a.intersects(box(3, 1.1, 0, 2, 1))
+
+    def test_contains_point(self):
+        assert box(1, 0, 0, 1, 1).contains_point(0.5, 0.5)
+        assert not box(1, 0, 0, 1, 1).contains_point(1.5, 0.5)
+
+    def test_serialized_bytes(self):
+        assert box(1, 0, 0, 1, 1).serialized_bytes() == 8 + 32
+
+
+class TestPolygonObject:
+    @pytest.fixture
+    def square(self):
+        return PolygonObject(1, [(0, 0), (2, 0), (2, 2), (0, 2)], Side.R)
+
+    @pytest.fixture
+    def triangle(self):
+        return PolygonObject(2, [(5, 0), (7, 0), (6, 2)], Side.S)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolygonObject(1, [(0, 0), (1, 1)], Side.R)
+
+    def test_area(self, square, triangle):
+        assert square.area() == pytest.approx(4.0)
+        assert triangle.area() == pytest.approx(2.0)
+
+    def test_contains_point(self, square):
+        assert square.contains_point(1, 1)
+        assert square.contains_point(0, 1)  # boundary
+        assert not square.contains_point(3, 1)
+
+    def test_distance_disjoint(self, square, triangle):
+        assert square.distance_to(triangle) == pytest.approx(3.0)
+        assert triangle.distance_to(square) == pytest.approx(3.0)
+
+    def test_distance_zero_when_overlapping(self, square):
+        other = PolygonObject(3, [(1, 1), (3, 1), (3, 3), (1, 3)], Side.S)
+        assert square.distance_to(other) == 0.0
+        assert objects_intersect(square, other)
+
+    def test_containment_detected(self, square):
+        inner = PolygonObject(4, [(0.5, 0.5), (1.5, 0.5), (1, 1.5)], Side.S)
+        assert square.distance_to(inner) == 0.0
+        assert objects_intersect(square, inner)
+        assert objects_intersect(inner, square)
+
+    def test_polygon_box_distance(self, square):
+        b = box(9, 4, 0, 5, 1, Side.S)
+        assert square.distance_to(b) == pytest.approx(2.0)
+        assert b.distance_to(square) == pytest.approx(2.0)
+
+
+class TestPolylineObject:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolylineObject(1, [(0, 0)], Side.R)
+
+    def test_mbr(self):
+        line = PolylineObject(1, [(0, 0), (2, 1), (1, 3)], Side.R)
+        assert line.mbr() == MBR(0, 0, 2, 3)
+
+    def test_no_interior(self):
+        line = PolylineObject(1, [(0, 0), (2, 0)], Side.R)
+        assert not line.contains_point(1, 0)  # even on the line: no interior
+
+    def test_distance_to_box(self):
+        line = PolylineObject(1, [(0, 2), (4, 2)], Side.R)
+        b = box(2, 1, 0, 3, 1, Side.S)
+        assert line.distance_to(b) == pytest.approx(1.0)
+
+    def test_crossing_polygon_distance_zero(self):
+        line = PolylineObject(1, [(-1, 1), (3, 1)], Side.R)
+        poly = PolygonObject(2, [(0, 0), (2, 0), (2, 2), (0, 2)], Side.S)
+        assert line.distance_to(poly) == 0.0
+        assert objects_intersect(line, poly)
+
+    def test_line_inside_polygon(self):
+        line = PolylineObject(1, [(0.5, 0.5), (1.5, 1.5)], Side.R)
+        poly = PolygonObject(2, [(0, 0), (2, 0), (2, 2), (0, 2)], Side.S)
+        assert line.distance_to(poly) == 0.0
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        a = random_boxes(50, Side.R, seed=3)
+        b = random_boxes(50, Side.R, seed=3)
+        assert all(x.box == y.box for x, y in zip(a, b))
+
+    def test_counts_and_sides(self):
+        for gen in (random_boxes, random_polygons, random_polylines):
+            objs = gen(40, Side.S, seed=1)
+            assert len(objs) == 40
+            assert all(o.side is Side.S for o in objs)
+
+    def test_objects_inside_domain(self):
+        for gen in (random_boxes, random_polygons, random_polylines):
+            for obj in gen(100, Side.R, seed=2):
+                m = obj.mbr()
+                assert m.xmin >= 0 and m.xmax <= 1
+                assert m.ymin >= 0 and m.ymax <= 1
+
+    def test_polygons_are_simple(self):
+        """No two non-adjacent edges of a generated ring may cross."""
+        from repro.geometry.segment import segments_intersect
+
+        for poly in random_polygons(100, Side.R, seed=4):
+            edges = list(poly.edges())
+            n = len(edges)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if j == i + 1 or (i == 0 and j == n - 1):
+                        continue  # adjacent edges share a vertex
+                    assert not segments_intersect(*edges[i], *edges[j]), (
+                        poly.pid, i, j,
+                    )
+
+    def test_distance_consistency_random_pairs(self):
+        """distance == 0 exactly when objects intersect."""
+        boxes = random_boxes(40, Side.R, mean_size=0.05, seed=5)
+        polys = random_polygons(40, Side.S, mean_size=0.05, seed=6)
+        for a in boxes[:20]:
+            for b in polys[:20]:
+                d = a.distance_to(b)
+                assert d >= 0
+                assert (d == 0.0) == objects_intersect(a, b)
+
+    def test_radius_bounds_object(self):
+        for obj in random_polylines(50, Side.R, seed=7):
+            ax, ay = obj.anchor()
+            for px, py in obj.points:
+                assert math.hypot(px - ax, py - ay) <= obj.radius() + 1e-9

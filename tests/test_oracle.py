@@ -1,0 +1,150 @@
+"""Unit tests for the verification oracle."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Side
+from repro.verify.oracle import (
+    VerificationResult,
+    assignment_join_pairs,
+    brute_force_pairs,
+    kdtree_pairs,
+    verify_assignment,
+)
+
+
+def random_cloud(n, seed, lo=0.0, hi=10.0):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(lo, hi, n)
+    ys = rng.uniform(lo, hi, n)
+    return [(i, float(x), float(y)) for i, (x, y) in enumerate(zip(xs, ys))]
+
+
+class TestGroundTruth:
+    def test_brute_force_known(self):
+        r = [(0, 0.0, 0.0), (1, 5.0, 5.0)]
+        s = [(10, 0.5, 0.0), (11, 5.0, 5.9), (12, 9.0, 9.0)]
+        assert brute_force_pairs(r, s, 1.0) == {(0, 10), (1, 11)}
+
+    def test_brute_force_inclusive_threshold(self):
+        r = [(0, 0.0, 0.0)]
+        s = [(1, 1.0, 0.0)]
+        assert brute_force_pairs(r, s, 1.0) == {(0, 1)}
+
+    def test_kdtree_matches_brute_force(self):
+        r = random_cloud(150, 1)
+        s = random_cloud(150, 2)
+        for eps in (0.3, 1.0, 2.5):
+            assert kdtree_pairs(r, s, eps) == brute_force_pairs(r, s, eps)
+
+    def test_kdtree_empty_inputs(self):
+        assert kdtree_pairs([], random_cloud(5, 3), 1.0) == set()
+        assert kdtree_pairs(random_cloud(5, 3), [], 1.0) == set()
+
+
+class _OneCellAssigner:
+    """Everything to cell 0: correct, duplicate-free, trivially centralized."""
+
+    def assign(self, x, y, side):
+        return (0,)
+
+
+class _TwoCellAssigner:
+    """Both inputs to both cells: correct but duplicates every pair."""
+
+    def assign(self, x, y, side):
+        return (0, 1)
+
+
+class _DropAssigner:
+    """R to cell 0, S to cell 1: loses every pair."""
+
+    def assign(self, x, y, side):
+        return (0,) if side is Side.R else (1,)
+
+
+class TestVerifyAssignment:
+    def test_single_cell_ok(self):
+        r, s = random_cloud(60, 4), random_cloud(60, 5)
+        res = verify_assignment(_OneCellAssigner(), r, s, 1.0)
+        assert res.ok
+        assert res.describe() == "assignment is correct and duplicate-free"
+
+    def test_duplicates_detected(self):
+        r, s = random_cloud(40, 6), random_cloud(40, 7)
+        res = verify_assignment(_TwoCellAssigner(), r, s, 1.5)
+        assert res.correct
+        assert not res.duplicate_free
+        assert res.duplicated
+        assert all(count == 2 for count in res.duplicated.values())
+        assert "duplicated" in res.describe()
+
+    def test_missing_detected(self):
+        r, s = random_cloud(40, 8), random_cloud(40, 9)
+        res = verify_assignment(_DropAssigner(), r, s, 1.5)
+        assert not res.correct
+        assert res.missing == kdtree_pairs(r, s, 1.5)
+        assert "missing" in res.describe()
+
+    def test_multiplicity_preserved(self):
+        r, s = random_cloud(30, 10), random_cloud(30, 11)
+        pairs = assignment_join_pairs(_TwoCellAssigner(), r, s, 1.5)
+        assert len(pairs) == 2 * len(set(pairs))
+
+    def test_explicit_expected_set(self):
+        r, s = [(0, 0.0, 0.0)], [(1, 0.5, 0.0)]
+        res = verify_assignment(_OneCellAssigner(), r, s, 1.0, expected={(0, 1)})
+        assert res.ok
+
+    def test_spurious_detected(self):
+        res = VerificationResult(
+            correct=False, duplicate_free=True, spurious={(1, 2)}
+        )
+        assert "spurious" in res.describe()
+
+
+class TestValidateJoinResult:
+    def _workload(self):
+        from repro.data.generators import gaussian_clusters
+
+        r = gaussian_clusters(400, seed=91, name="r")
+        s = gaussian_clusters(400, seed=92, name="s")
+        return r, s
+
+    def test_valid_result_passes(self):
+        from repro.joins.distance_join import JoinConfig, distance_join
+        from repro.verify.invariants import validate_join_result
+
+        r, s = self._workload()
+        res = distance_join(r, s, JoinConfig(eps=0.02, method="lpib"))
+        validation = validate_join_result(res, r, s, 0.02)
+        assert validation.ok, validation.issues
+
+    def test_tampered_result_detected(self):
+        import numpy as np
+
+        from repro.joins.distance_join import JoinConfig, distance_join
+        from repro.verify.invariants import validate_join_result
+
+        r, s = self._workload()
+        res = distance_join(r, s, JoinConfig(eps=0.02, method="lpib"))
+        res.r_ids = res.r_ids[:-1]  # drop one pair
+        res.s_ids = res.s_ids[:-1]
+        res.metrics.results = len(res.r_ids)
+        validation = validate_join_result(res, r, s, 0.02)
+        assert not validation.matches_oracle
+        assert "missing" in validation.issues[0]
+
+    def test_duplicated_result_detected(self):
+        import numpy as np
+
+        from repro.joins.distance_join import JoinConfig, distance_join
+        from repro.verify.invariants import validate_join_result
+
+        r, s = self._workload()
+        res = distance_join(r, s, JoinConfig(eps=0.02, method="diff"))
+        res.r_ids = np.concatenate([res.r_ids, res.r_ids[:1]])
+        res.s_ids = np.concatenate([res.s_ids, res.s_ids[:1]])
+        res.metrics.results = len(res.r_ids)
+        validation = validate_join_result(res, r, s, 0.02)
+        assert not validation.duplicate_free

@@ -1,0 +1,44 @@
+"""Tests for the attribute post-processing cost model (Table 5)."""
+
+import pytest
+
+from repro.data.generators import gaussian_clusters
+from repro.joins.postprocess import post_process_attributes
+
+
+@pytest.fixture(scope="module")
+def sets():
+    r = gaussian_clusters(2000, seed=71, payload_bytes=64, name="R")
+    s = gaussian_clusters(2000, seed=72, payload_bytes=64, name="S")
+    return r, s
+
+
+class TestPostProcessModel:
+    def test_cost_grows_with_result_count(self, sets):
+        r, s = sets
+        small = post_process_attributes(1_000, r, s, num_workers=12)
+        large = post_process_attributes(100_000, r, s, num_workers=12)
+        assert large.time_model > small.time_model
+        assert large.shuffle_bytes > small.shuffle_bytes
+
+    def test_cost_grows_with_payload(self, sets):
+        r, s = sets
+        lean = post_process_attributes(10_000, r.with_payload(0), s.with_payload(0), 12)
+        fat = post_process_attributes(10_000, r.with_payload(512), s.with_payload(512), 12)
+        assert fat.time_model > lean.time_model
+
+    def test_remote_fraction(self, sets):
+        r, s = sets
+        rep = post_process_attributes(10_000, r, s, num_workers=4)
+        assert rep.remote_bytes == pytest.approx(rep.shuffle_bytes * 3 / 4, rel=0.01)
+
+    def test_includes_both_input_sets(self, sets):
+        r, s = sets
+        rep = post_process_attributes(0, r, s, num_workers=12)
+        assert rep.records >= len(r) + len(s)
+
+    def test_more_workers_faster(self, sets):
+        r, s = sets
+        slow = post_process_attributes(50_000, r, s, num_workers=4)
+        fast = post_process_attributes(50_000, r, s, num_workers=16)
+        assert fast.time_model < slow.time_model

@@ -1,0 +1,222 @@
+"""Property-based tests: the core invariants under random inputs.
+
+Hypothesis drives random point clouds, epsilons, grid shapes and agreement
+policies through the full assignment pipeline and checks the two paper
+properties (correctness, duplicate-freeness) against the KD-tree oracle.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreements.graph import AgreementGraph
+from repro.agreements.marking import generate_duplicate_free_graph
+from repro.agreements.policies import (
+    DiffPolicy,
+    LPiBPolicy,
+    UniformPolicy,
+    instantiate_pair_types,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.grid.statistics import GridStatistics
+from repro.replication.assign import AdaptiveAssigner
+from repro.replication.pbsm import UniversalAssigner
+from repro.verify.oracle import verify_assignment
+
+
+def _cloud(seed, n, extent):
+    rng = np.random.default_rng(seed)
+    # mix of clustered and uniform points to stress border regions
+    n_uniform = n // 2
+    xs = [rng.uniform(0, extent, n_uniform)]
+    ys = [rng.uniform(0, extent, n_uniform)]
+    remaining = n - n_uniform
+    centers = rng.uniform(0, extent, (max(1, n // 40), 2))
+    idx = rng.integers(0, len(centers), remaining)
+    xs.append(np.clip(centers[idx, 0] + rng.normal(0, extent / 15, remaining), 0, extent))
+    ys.append(np.clip(centers[idx, 1] + rng.normal(0, extent / 15, remaining), 0, extent))
+    xs = np.concatenate(xs)
+    ys = np.concatenate(ys)
+    return [(i, float(x), float(y)) for i, (x, y) in enumerate(zip(xs, ys))]
+
+
+def _stats_from(grid, r_pts, s_pts):
+    stats = GridStatistics(grid)
+    stats.add_points(
+        np.array([p[1] for p in r_pts]), np.array([p[2] for p in r_pts]), Side.R
+    )
+    stats.add_points(
+        np.array([p[1] for p in s_pts]), np.array([p[2] for p in s_pts]), Side.S
+    )
+    return stats
+
+
+policy_strategy = st.sampled_from(["lpib", "diff", "uni_r", "uni_s", "random"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(30, 250),
+    eps=st.floats(0.4, 1.6),
+    extent=st.floats(6.0, 16.0),
+    policy_name=policy_strategy,
+)
+def test_adaptive_assignment_correct_and_duplicate_free(
+    seed, n, eps, extent, policy_name
+):
+    grid = Grid(MBR(0, 0, extent, extent), eps)
+    r_pts = _cloud(seed, n, extent)
+    s_pts = _cloud(seed + 77, n, extent)
+    stats = _stats_from(grid, r_pts, s_pts)
+
+    if policy_name == "random":
+        rng = np.random.default_rng(seed)
+        pair_types = {
+            frozenset(p[:2]): (Side.R if rng.random() < 0.5 else Side.S)
+            for p in grid.adjacent_pairs()
+        }
+    else:
+        policy = {
+            "lpib": LPiBPolicy(),
+            "diff": DiffPolicy(),
+            "uni_r": UniformPolicy(Side.R),
+            "uni_s": UniformPolicy(Side.S),
+        }[policy_name]
+        pair_types = instantiate_pair_types(grid, stats, policy)
+
+    graph = AgreementGraph(grid, pair_types, stats)
+    generate_duplicate_free_graph(graph)
+    res = verify_assignment(AdaptiveAssigner(grid, graph), r_pts, s_pts, eps)
+    assert res.ok, res.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(30, 200),
+    eps=st.floats(0.4, 1.6),
+    extent=st.floats(5.0, 14.0),
+    side=st.sampled_from([Side.R, Side.S]),
+)
+def test_universal_assignment_correct_and_duplicate_free(seed, n, eps, extent, side):
+    grid = Grid(MBR(0, 0, extent, extent), eps)
+    r_pts = _cloud(seed, n, extent)
+    s_pts = _cloud(seed + 31, n, extent)
+    res = verify_assignment(UniversalAssigner(grid, side), r_pts, s_pts, eps)
+    assert res.ok, res.describe()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(30, 150),
+    eps=st.floats(0.3, 1.2),
+)
+def test_eps_resolution_universal_grid(seed, n, eps):
+    """The eps-grid baseline (resolution factor 1) keeps both properties."""
+    extent = 8.0
+    grid = Grid(MBR(0, 0, extent, extent), eps, resolution_factor=1.0)
+    r_pts = _cloud(seed, n, extent)
+    s_pts = _cloud(seed + 13, n, extent)
+    res = verify_assignment(UniversalAssigner(grid, Side.R), r_pts, s_pts, eps)
+    assert res.ok, res.describe()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(50, 300), eps=st.floats(0.3, 1.5))
+def test_samj_rtree_join_matches_oracle(seed, n, eps):
+    """The SAMJ baseline under random clouds, epsilons and tree shapes."""
+    import numpy as np
+
+    from repro.baselines.rtree_join import SamjConfig, rtree_samj_join
+    from repro.data.pointset import PointSet
+    from repro.verify.oracle import kdtree_pairs
+
+    rng = np.random.default_rng(seed)
+    r = PointSet(rng.uniform(0, 10, n), rng.uniform(0, 10, n), name="r")
+    s = PointSet(rng.uniform(0, 10, n), rng.uniform(0, 10, n), name="s")
+    truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), eps)
+    cfg = SamjConfig(eps=eps, leaf_capacity=int(4 + seed % 30))
+    res = rtree_samj_join(r, s, cfg)
+    assert res.pairs_set() == truth
+    assert len(res) == len(truth)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(50, 250), eps=st.floats(0.02, 0.06))
+def test_clone_join_matches_oracle(seed, n, eps):
+    """The clone join (both-side replication + midpoint ownership)."""
+    import numpy as np
+
+    from repro.data.pointset import PointSet
+    from repro.joins.generalized_join import (
+        GeneralizedJoinConfig,
+        generalized_distance_join,
+    )
+    from repro.verify.oracle import kdtree_pairs
+
+    rng = np.random.default_rng(seed)
+    r = PointSet(rng.uniform(0, 1, n), rng.uniform(0, 1, n), name="r")
+    s = PointSet(rng.uniform(0, 1, n), rng.uniform(0, 1, n), name="s")
+    truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), eps)
+    for partition in ("grid", "quadtree"):
+        cfg = GeneralizedJoinConfig(
+            eps=eps, partition=partition, method="clone", sample_rate=0.5, seed=seed
+        )
+        res = generalized_distance_join(r, s, cfg)
+        assert res.pairs_set() == truth, partition
+        assert len(res) == len(truth), partition
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), eps=st.floats(0.4, 1.4))
+def test_replication_never_exceeds_three(seed, eps):
+    """With cell sides > 2 eps a point is assigned to at most 4 cells
+    (native + 3 replicas), per Sect. 4.1."""
+    extent = 12.0
+    grid = Grid(MBR(0, 0, extent, extent), eps)
+    r_pts = _cloud(seed, 150, extent)
+    s_pts = _cloud(seed + 5, 150, extent)
+    stats = _stats_from(grid, r_pts, s_pts)
+    graph = AgreementGraph(
+        grid, instantiate_pair_types(grid, stats, LPiBPolicy()), stats
+    )
+    generate_duplicate_free_graph(graph)
+    assigner = AdaptiveAssigner(grid, graph)
+    for pid, x, y in r_pts + s_pts:
+        for side in Side:
+            assert len(assigner.assign(x, y, side)) <= 4
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), eps=st.floats(0.4, 1.4))
+def test_adaptive_replicates_no_more_than_both_uniforms_combined(seed, eps):
+    """Sanity bound: per boundary the adaptive choice replicates
+    min(R, S) candidates, so its total replication cannot exceed the sum of
+    what UNI(R) and UNI(S) replicate."""
+    extent = 10.0
+    grid = Grid(MBR(0, 0, extent, extent), eps)
+    r_pts = _cloud(seed, 200, extent)
+    s_pts = _cloud(seed + 3, 200, extent)
+    stats = _stats_from(grid, r_pts, s_pts)
+    graph = AgreementGraph(
+        grid, instantiate_pair_types(grid, stats, LPiBPolicy()), stats
+    )
+    generate_duplicate_free_graph(graph)
+    adaptive = AdaptiveAssigner(grid, graph)
+
+    def total_replicas(assigner):
+        total = 0
+        for pid, x, y in r_pts:
+            total += len(assigner.assign(x, y, Side.R)) - 1
+        for pid, x, y in s_pts:
+            total += len(assigner.assign(x, y, Side.S)) - 1
+        return total
+
+    uni = total_replicas(UniversalAssigner(grid, Side.R)) + total_replicas(
+        UniversalAssigner(grid, Side.S)
+    )
+    assert total_replicas(adaptive) <= uni

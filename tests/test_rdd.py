@@ -1,0 +1,170 @@
+"""Unit tests for the Spark-like RDD layer."""
+
+import pytest
+
+from repro.engine.cluster import SimCluster
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.rdd import SimPairRDD, SimRDD, default_record_bytes
+from repro.engine.shuffle import ShuffleStats
+from repro.geometry.point import Side, SpatialPoint
+
+
+@pytest.fixture
+def cluster():
+    return SimCluster(3)
+
+
+class TestBasics:
+    def test_parallelize_round_robin(self, cluster):
+        rdd = SimRDD.parallelize(cluster, range(10), num_partitions=3)
+        assert rdd.num_partitions == 3
+        assert sorted(rdd.collect()) == list(range(10))
+        assert rdd.partitions[0] == [0, 3, 6, 9]
+
+    def test_map_filter_flat_map(self, cluster):
+        rdd = SimRDD.parallelize(cluster, range(6))
+        assert sorted(rdd.map(lambda x: x * 2).collect()) == [0, 2, 4, 6, 8, 10]
+        assert sorted(rdd.filter(lambda x: x % 2 == 0).collect()) == [0, 2, 4]
+        assert sorted(rdd.flat_map(lambda x: [x, x]).count() for _ in [0])[0] == 12
+
+    def test_sample_deterministic_and_bounded(self, cluster):
+        rdd = SimRDD.parallelize(cluster, range(1000))
+        a = rdd.sample(0.1, seed=7).collect()
+        b = rdd.sample(0.1, seed=7).collect()
+        assert a == b
+        assert 40 <= len(a) <= 200
+
+    def test_foreach(self, cluster):
+        acc = []
+        SimRDD.parallelize(cluster, range(5)).foreach(acc.append)
+        assert sorted(acc) == list(range(5))
+
+    def test_key_by(self, cluster):
+        pairs = SimRDD.parallelize(cluster, ["aa", "b"]).key_by(len).collect()
+        assert sorted(pairs) == [(1, "b"), (2, "aa")]
+
+    def test_empty_rdd(self, cluster):
+        rdd = SimRDD.parallelize(cluster, [])
+        assert rdd.count() == 0
+        assert rdd.map(lambda x: x).collect() == []
+
+
+class TestShuffles:
+    def test_partition_by_routes_keys(self, cluster):
+        rdd = SimRDD.parallelize(cluster, range(12)).key_by(lambda x: x % 4)
+        out = rdd.partition_by(HashPartitioner(4))
+        for pidx, part in enumerate(out.partitions):
+            assert all(k % 4 == pidx for k, _v in part)
+
+    def test_partition_by_accounts_shuffle(self, cluster):
+        stats = ShuffleStats()
+        rdd = SimRDD.parallelize(cluster, range(20)).key_by(lambda x: x)
+        rdd.partition_by(HashPartitioner(5), stats)
+        assert stats.records == 20
+        assert stats.remote_records <= 20
+        assert stats.bytes > 0
+
+    def test_join_matches_reference(self, cluster):
+        left = SimRDD.parallelize(cluster, [(k, f"l{k}") for k in range(8)])
+        left = SimPairRDD(cluster, left.partitions)
+        right = SimPairRDD(
+            cluster,
+            SimRDD.parallelize(cluster, [(k % 4, f"r{k}") for k in range(8)]).partitions,
+        )
+        got = sorted(left.join(right, HashPartitioner(3)).collect())
+        expected = sorted(
+            (k, (f"l{k}", f"r{j}")) for j in range(8) for k in [j % 4]
+        )
+        assert got == expected
+
+    def test_group_by_key(self, cluster):
+        rdd = SimPairRDD(
+            cluster,
+            SimRDD.parallelize(cluster, [(1, "a"), (2, "b"), (1, "c")]).partitions,
+        )
+        grouped = dict(rdd.group_by_key().collect())
+        assert sorted(grouped[1]) == ["a", "c"]
+        assert grouped[2] == ["b"]
+
+    def test_keys_values(self, cluster):
+        rdd = SimPairRDD(
+            cluster, SimRDD.parallelize(cluster, [(1, "a"), (2, "b")]).partitions
+        )
+        assert sorted(rdd.keys().collect()) == [1, 2]
+        assert sorted(rdd.values().collect()) == ["a", "b"]
+
+    def test_distinct_removes_duplicates_and_accounts(self, cluster):
+        stats = ShuffleStats()
+        rdd = SimRDD.parallelize(cluster, [1, 2, 2, 3, 3, 3])
+        out = rdd.distinct(stats)
+        assert sorted(out.collect()) == [1, 2, 3]
+        assert stats.records == 6
+
+
+class TestExtendedOps:
+    def test_map_partitions(self, cluster):
+        rdd = SimRDD.parallelize(cluster, range(9), num_partitions=3)
+        sums = rdd.map_partitions(lambda p: [sum(p)]).collect()
+        assert len(sums) == 3
+        assert sum(sums) == sum(range(9))
+
+    def test_union(self, cluster):
+        a = SimRDD.parallelize(cluster, [1, 2])
+        b = SimRDD.parallelize(cluster, [3])
+        u = a.union(b)
+        assert sorted(u.collect()) == [1, 2, 3]
+        assert u.num_partitions == a.num_partitions + b.num_partitions
+
+    def test_glom(self, cluster):
+        rdd = SimRDD.parallelize(cluster, range(6), num_partitions=2)
+        glommed = rdd.glom().collect()
+        assert len(glommed) == 2
+        assert sorted(x for part in glommed for x in part) == list(range(6))
+
+    def test_sort_by(self, cluster):
+        rdd = SimRDD.parallelize(cluster, [5, 3, 9, 1, 7], num_partitions=2)
+        out = rdd.sort_by(lambda x: x)
+        assert out.collect() == [1, 3, 5, 7, 9]
+
+    def test_reduce_by_key(self, cluster):
+        pairs = [(k % 3, 1) for k in range(12)]
+        rdd = SimPairRDD(cluster, SimRDD.parallelize(cluster, pairs).partitions)
+        out = dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+        assert out == {0: 4, 1: 4, 2: 4}
+
+    def test_reduce_by_key_pre_aggregates_shuffle(self, cluster):
+        stats = ShuffleStats()
+        pairs = [(0, 1)] * 100  # one key, many values
+        rdd = SimPairRDD(
+            cluster, SimRDD.parallelize(cluster, pairs, num_partitions=4).partitions
+        )
+        rdd.reduce_by_key(lambda a, b: a + b, HashPartitioner(4), stats)
+        # map-side combine: at most one record per (partition, key)
+        assert stats.records <= 4
+
+    def test_count_by_key(self, cluster):
+        rdd = SimPairRDD(
+            cluster,
+            SimRDD.parallelize(cluster, [(1, "a"), (1, "b"), (2, "c")]).partitions,
+        )
+        assert rdd.count_by_key() == {1: 2, 2: 1}
+
+
+class TestTextFile:
+    def test_round_trip(self, cluster, tmp_path):
+        path = tmp_path / "pts.txt"
+        path.write_text("1,0.5,0.25\n2,1.5,2.5\n")
+        rdd = SimRDD.text_file(cluster, str(path))
+        assert rdd.count() == 2
+        assert rdd.collect()[0] == "1,0.5,0.25"
+
+
+class TestRecordBytes:
+    def test_spatial_point(self):
+        p = SpatialPoint(1, 0, 0, Side.R, payload_bytes=10)
+        assert default_record_bytes(p) == 34
+
+    def test_tuple_and_scalars(self):
+        assert default_record_bytes((1, 2.0)) == 16
+        assert default_record_bytes("abcd") == 4
+        assert default_record_bytes(object()) == 16

@@ -1,0 +1,185 @@
+"""Robustness and failure-injection tests: degenerate inputs, forced
+algorithm failures, and fallback paths."""
+
+import numpy as np
+import pytest
+
+from repro.agreements.marking import MarkingError, mark_quartet
+from repro.data.pointset import PointSet
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.joins.distance_join import JoinConfig, distance_join
+from repro.verify.oracle import kdtree_pairs
+from tests.conftest import make_graph
+
+
+def points(coords, name="p"):
+    xs = np.array([c[0] for c in coords], dtype=float)
+    ys = np.array([c[1] for c in coords], dtype=float)
+    return PointSet(xs, ys, name=name)
+
+
+class TestDegenerateInputs:
+    def test_all_points_identical(self):
+        r = points([(0.5, 0.5)] * 50, "r")
+        s = points([(0.5, 0.5)] * 50, "s")
+        res = distance_join(r, s, JoinConfig(eps=0.01, method="lpib"))
+        assert len(res) == 2500
+
+    def test_eps_larger_than_domain(self):
+        r = points([(0.1, 0.1), (0.9, 0.9)], "r")
+        s = points([(0.5, 0.5)], "s")
+        res = distance_join(r, s, JoinConfig(eps=5.0, method="lpib"))
+        assert res.pairs_set() == {(0, 0), (1, 0)}
+
+    def test_collinear_points(self):
+        r = points([(x / 50, 0.5) for x in range(50)], "r")
+        s = points([(x / 50 + 0.001, 0.5) for x in range(50)], "s")
+        truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), 0.03)
+        for method in ("lpib", "uni_r", "eps_grid"):
+            res = distance_join(r, s, JoinConfig(eps=0.03, method=method))
+            assert res.pairs_set() == truth, method
+
+    def test_lattice_points_on_cell_borders(self):
+        """Points exactly on every grid line: boundary assignment must stay
+        consistent between replication and native assignment."""
+        grid = Grid(MBR(0, 0, 1, 1), 0.05)
+        xs = [grid.mbr.xmin + i * grid.cell_w for i in range(grid.nx + 1)]
+        ys = [grid.mbr.ymin + j * grid.cell_h for j in range(grid.ny + 1)]
+        coords = [(min(x, 1.0), min(y, 1.0)) for x in xs[:8] for y in ys[:8]]
+        r = points(coords, "r")
+        s = points([(x + 1e-4, y) for x, y in coords], "s")
+        truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), 0.05)
+        cfg = JoinConfig(eps=0.05, method="diff", mbr=MBR(0, 0, 1, 1))
+        res = distance_join(r, s, cfg)
+        assert res.pairs_set() == truth
+        assert len(res) == len(truth)
+
+    def test_single_point_each(self):
+        r = points([(0.2, 0.2)], "r")
+        s = points([(0.201, 0.2)], "s")
+        res = distance_join(r, s, JoinConfig(eps=0.01))
+        assert res.pairs_set() == {(0, 0)}
+
+    def test_extreme_aspect_ratio_domain(self):
+        rng = np.random.default_rng(5)
+        r = PointSet(rng.uniform(0, 100, 300), rng.uniform(0, 0.3, 300), name="r")
+        s = PointSet(rng.uniform(0, 100, 300), rng.uniform(0, 0.3, 300), name="s")
+        truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), 0.5)
+        res = distance_join(r, s, JoinConfig(eps=0.5, method="lpib"))
+        assert res.pairs_set() == truth
+
+
+class TestValidation:
+    def test_nan_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            PointSet([0.0, float("nan")], [0.0, 0.0])
+
+    def test_inf_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            PointSet([0.0, float("inf")], [0.0, 0.0])
+
+    def test_empty_point_set_allowed(self):
+        assert len(PointSet(np.empty(0), np.empty(0))) == 0
+
+
+class TestFailureInjection:
+    def test_marking_error_when_triangle_unresolvable(self, grid2x2):
+        """Force both base directed edges of a mixed triangle to be marked:
+        neither apex edge can then be marked and the repair must raise."""
+        graph = make_graph(
+            grid2x2,
+            [  # pair order: (0,1) (0,2) (0,3) (1,3) (1,2) (2,3)
+                Side.S,  # 0-1 base pair of the mixed triangle (0, 1, 2)
+                Side.R,  # 0-2
+                Side.R,  # 0-3
+                Side.R,  # 1-3
+                Side.R,  # 1-2
+                Side.R,  # 2-3
+            ],
+        )
+        sub = graph.quartet((1, 1))
+        # triangle (0, 1, 2): apex 2 (edges 2->0 and 2->1 of type R, base
+        # 0-1 of type S).  Sabotage: pre-mark both base directions.
+        sub.edge(0, 1).marked = True
+        sub.edge(1, 0).marked = True
+        with pytest.raises(MarkingError):
+            mark_quartet(sub)
+
+    def test_repair_pass_resolves_when_locked_but_unmarked(self, grid2x2):
+        """Locks alone must never make a triangle unresolvable: the repair
+        pass ignores locks (but never marks over marked supports)."""
+        graph = make_graph(
+            grid2x2,
+            [Side.S, Side.R, Side.R, Side.R, Side.R, Side.R],
+        )
+        sub = graph.quartet((1, 1))
+        for e in sub.edges():
+            e.locked = True  # sabotage: everything locked, nothing marked
+        report = mark_quartet(sub)
+        assert report.repaired_triangles >= 1
+        from repro.agreements.marking import unresolved_mixed_triangles
+
+        assert unresolved_mixed_triangles(sub) == []
+
+
+class TestMemoryModel:
+    def test_peak_heap_reported(self, small_clusters):
+        r, s = small_clusters
+        m = distance_join(r, s, JoinConfig(eps=0.02, method="lpib")).metrics
+        assert m.extra["peak_worker_heap_bytes"] > 0
+
+    def test_generous_limit_passes(self, small_clusters):
+        r, s = small_clusters
+        cfg = JoinConfig(eps=0.02, method="lpib", memory_limit_bytes=10**9)
+        assert distance_join(r, s, cfg).metrics.results > 0
+
+    def test_tight_limit_raises_oom(self, small_clusters):
+        from repro.joins.distance_join import SimulatedOOMError
+
+        r, s = small_clusters
+        cfg = JoinConfig(eps=0.02, method="uni_r", memory_limit_bytes=1024)
+        with pytest.raises(SimulatedOOMError) as exc:
+            distance_join(r, s, cfg)
+        assert exc.value.demand_bytes > exc.value.limit_bytes
+
+    def test_eps_grid_needs_more_heap_than_adaptive(self, small_clusters):
+        r, s = small_clusters
+        adaptive = distance_join(r, s, JoinConfig(eps=0.02, method="lpib")).metrics
+        eps_grid = distance_join(r, s, JoinConfig(eps=0.02, method="eps_grid")).metrics
+        assert (
+            eps_grid.extra["peak_worker_heap_bytes"]
+            > adaptive.extra["peak_worker_heap_bytes"]
+        )
+
+
+class TestFallbacks:
+    def test_lpt_with_unsampled_cells_still_correct(self, small_clusters):
+        """A 0.1% sample leaves most cells unseen; the partitioner must
+        fall back to hashing for them without losing results."""
+        r, s = small_clusters
+        truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), 0.02)
+        cfg = JoinConfig(eps=0.02, method="uni_r", sample_rate=0.001,
+                         cell_assignment="lpt")
+        res = distance_join(r, s, cfg)
+        assert res.pairs_set() == truth
+
+    def test_adaptive_with_tiny_sample_still_correct(self, small_clusters):
+        """Agreements chosen from almost no data are arbitrary but must
+        never break correctness or duplicate-freeness."""
+        r, s = small_clusters
+        truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), 0.02)
+        for seed in (0, 1, 2):
+            cfg = JoinConfig(eps=0.02, method="lpib", sample_rate=0.001, seed=seed)
+            res = distance_join(r, s, cfg)
+            assert res.pairs_set() == truth
+            assert len(res) == len(truth)
+
+    def test_single_worker(self, small_clusters):
+        r, s = small_clusters
+        cfg = JoinConfig(eps=0.02, method="diff", num_workers=1, num_partitions=1)
+        res = distance_join(r, s, cfg)
+        truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), 0.02)
+        assert res.pairs_set() == truth
+        assert res.metrics.remote_bytes == 0  # nothing leaves the one worker

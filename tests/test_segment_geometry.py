@@ -1,0 +1,96 @@
+"""Unit and property tests for segment geometry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.segment import (
+    point_segment_distance_sq,
+    segment_segment_distance_sq,
+    segments_intersect,
+)
+
+coord = st.floats(-100, 100, allow_nan=False)
+
+
+class TestPointSegment:
+    def test_projection_inside(self):
+        assert point_segment_distance_sq(0, 1, -1, 0, 1, 0) == pytest.approx(1.0)
+
+    def test_clamped_to_endpoint(self):
+        assert point_segment_distance_sq(5, 0, 0, 0, 1, 0) == pytest.approx(16.0)
+
+    def test_on_segment_zero(self):
+        assert point_segment_distance_sq(0.5, 0, 0, 0, 1, 0) == 0.0
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance_sq(3, 4, 0, 0, 0, 0) == pytest.approx(25.0)
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_non_negative_and_bounded_by_endpoints(self, px, py, ax, ay, bx, by):
+        d = point_segment_distance_sq(px, py, ax, ay, bx, by)
+        to_a = (px - ax) ** 2 + (py - ay) ** 2
+        to_b = (px - bx) ** 2 + (py - by) ** 2
+        assert 0 <= d <= min(to_a, to_b) + 1e-6
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(0, 0, 2, 2, 0, 2, 2, 0)
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+    def test_touching_endpoint(self):
+        assert segments_intersect(0, 0, 1, 1, 1, 1, 2, 0)
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_t_junction(self):
+        assert segments_intersect(0, 0, 2, 0, 1, -1, 1, 0)
+
+    @given(coord, coord, coord, coord, coord, coord, coord, coord)
+    def test_symmetric(self, ax, ay, bx, by, cx, cy, dx, dy):
+        assert segments_intersect(ax, ay, bx, by, cx, cy, dx, dy) == (
+            segments_intersect(cx, cy, dx, dy, ax, ay, bx, by)
+        )
+
+
+class TestSegmentSegmentDistance:
+    def test_zero_iff_intersecting(self):
+        assert segment_segment_distance_sq(0, 0, 2, 2, 0, 2, 2, 0) == 0.0
+
+    def test_parallel(self):
+        assert segment_segment_distance_sq(0, 0, 1, 0, 0, 2, 1, 2) == pytest.approx(4.0)
+
+    def test_endpoint_to_interior(self):
+        d = segment_segment_distance_sq(0, 1, 0, 3, -5, 0, 5, 0)
+        assert d == pytest.approx(1.0)
+
+    @given(coord, coord, coord, coord, coord, coord, coord, coord)
+    def test_consistency_with_intersection(self, ax, ay, bx, by, cx, cy, dx, dy):
+        d = segment_segment_distance_sq(ax, ay, bx, by, cx, cy, dx, dy)
+        inter = segments_intersect(ax, ay, bx, by, cx, cy, dx, dy)
+        assert d >= 0
+        if inter:
+            assert d == 0.0
+        # the converse (d == 0 implies reported intersection) does not hold
+        # exactly in floating point: a projection can evaluate to zero while
+        # the orientation predicates see a tiny non-zero area
+
+    @given(coord, coord, coord, coord, coord, coord, coord, coord)
+    def test_symmetric(self, ax, ay, bx, by, cx, cy, dx, dy):
+        d1 = segment_segment_distance_sq(ax, ay, bx, by, cx, cy, dx, dy)
+        d2 = segment_segment_distance_sq(cx, cy, dx, dy, ax, ay, bx, by)
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+    def test_euclidean_consistency(self):
+        # distance between two points as degenerate segments
+        d = segment_segment_distance_sq(0, 0, 0, 0, 3, 4, 3, 4)
+        assert math.sqrt(d) == pytest.approx(5.0)

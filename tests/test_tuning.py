@@ -1,0 +1,74 @@
+"""Tests for the cost-model-driven configuration tuner."""
+
+import pytest
+
+from repro.core.tuning import DEFAULT_FACTORS, tune_join
+from repro.data.generators import gaussian_clusters
+from repro.joins.distance_join import distance_join
+from repro.verify.oracle import kdtree_pairs
+
+EPS = 0.015
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    r = gaussian_clusters(6000, seed=101, name="S1")
+    s = gaussian_clusters(6000, seed=202, name="S2")
+    return r, s
+
+
+class TestTuner:
+    def test_explores_full_space(self, skewed):
+        r, s = skewed
+        result = tune_join(r, s, EPS)
+        adaptive_keys = [k for k in result.predictions if k[0] == "lpib"]
+        assert len(adaptive_keys) == len(DEFAULT_FACTORS)
+        assert ("eps_grid", 1.0) in result.predictions
+
+    def test_picks_adaptive_method_on_skewed_data(self, skewed):
+        r, s = skewed
+        result = tune_join(r, s, EPS)
+        method, factor = result.best_key
+        assert method in ("lpib", "diff")
+        assert factor in DEFAULT_FACTORS
+        assert result.config.method == method
+        assert result.config.resolution_factor == factor
+
+    def test_tuned_config_runs_correctly(self, skewed):
+        r, s = skewed
+        result = tune_join(r, s, EPS)
+        res = distance_join(r, s, result.config)
+        truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), EPS)
+        assert res.pairs_set() == truth
+
+    def test_restricted_methods(self, skewed):
+        r, s = skewed
+        result = tune_join(r, s, EPS, methods=("uni_r", "uni_s"))
+        assert result.best_key[0] in ("uni_r", "uni_s")
+
+    def test_table_lists_all_configs(self, skewed):
+        r, s = skewed
+        result = tune_join(r, s, EPS, methods=("lpib", "uni_r"), factors=(2.0, 3.0))
+        table = result.table()
+        assert table.count("lpib") == 2
+        assert table.count("uni_r") == 2
+
+    def test_tuner_beats_worst_configuration(self, skewed):
+        """The tuned choice must be at least as fast (measured) as the
+        predicted-worst configuration."""
+        r, s = skewed
+        result = tune_join(r, s, EPS)
+        worst_key = max(result.predictions, key=lambda k: result.predictions[k].exec_time)
+        from repro.joins.distance_join import JoinConfig
+
+        worst_method, worst_factor = worst_key
+        worst_cfg = JoinConfig(
+            eps=EPS,
+            method=worst_method,
+            resolution_factor=worst_factor if worst_method != "eps_grid" else 2.0,
+            collect_pairs=False,
+        )
+        tuned_cfg = result.config
+        tuned = distance_join(r, s, tuned_cfg).metrics.exec_time_model
+        worst = distance_join(r, s, worst_cfg).metrics.exec_time_model
+        assert tuned <= worst * 1.05

@@ -1,0 +1,137 @@
+"""Tests for WKT parsing and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import uniform
+from repro.data.object_generators import random_polygons, random_polylines
+from repro.data.wkt import (
+    WKTError,
+    parse_wkt,
+    read_objects_wkt,
+    read_points_wkt,
+    to_wkt,
+    write_objects_wkt,
+    write_points_wkt,
+)
+from repro.geometry.objects import PolygonObject, PolylineObject
+from repro.geometry.point import Side
+
+
+class TestParse:
+    def test_point(self):
+        assert parse_wkt("POINT (1.5 -2.25)") == (1.5, -2.25)
+
+    def test_point_scientific_notation(self):
+        assert parse_wkt("POINT (1e-3 2E+2)") == (0.001, 200.0)
+
+    def test_linestring(self):
+        geom = parse_wkt("LINESTRING (0 0, 1 1, 2 0)", pid=7, side=Side.S)
+        assert isinstance(geom, PolylineObject)
+        assert geom.pid == 7
+        assert geom.points == [(0, 0), (1, 1), (2, 0)]
+
+    def test_polygon_closing_vertex_dropped(self):
+        geom = parse_wkt("POLYGON ((0 0, 2 0, 1 2, 0 0))")
+        assert isinstance(geom, PolygonObject)
+        assert geom.ring == [(0, 0), (2, 0), (1, 2)]
+        assert geom.area() == pytest.approx(2.0)
+
+    def test_polygon_unclosed_accepted(self):
+        geom = parse_wkt("POLYGON ((0 0, 2 0, 1 2))")
+        assert len(geom.ring) == 3
+
+    def test_malformed_rejected(self):
+        for bad in (
+            "POINT (1)",
+            "POINT (a b)",
+            "CIRCLE (0 0, 1)",
+            "POLYGON ((0 0, 1 1, 0 0))",  # two distinct vertices only
+            "LINESTRING (0 0, 1)",
+            "",
+        ):
+            with pytest.raises(WKTError):
+                parse_wkt(bad)
+
+
+class TestSerialize:
+    def test_round_trip_point(self):
+        assert parse_wkt(to_wkt((0.125, -3.5))) == (0.125, -3.5)
+
+    def test_round_trip_polyline(self):
+        line = PolylineObject(1, [(0, 0), (0.5, 0.25)], Side.R)
+        back = parse_wkt(to_wkt(line))
+        assert back.points == line.points
+
+    def test_round_trip_polygon(self):
+        poly = PolygonObject(1, [(0, 0), (1, 0), (0.5, 1)], Side.R)
+        back = parse_wkt(to_wkt(poly))
+        assert back.ring == poly.ring
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_wkt(42)
+
+
+class TestFiles:
+    def test_points_round_trip(self, tmp_path):
+        ps = uniform(80, seed=1, name="w")
+        path = tmp_path / "pts.wkt"
+        write_points_wkt(ps, str(path))
+        back = read_points_wkt(str(path), name="w")
+        assert np.allclose(back.xs, ps.xs)
+        assert np.allclose(back.ys, ps.ys)
+
+    def test_objects_round_trip(self, tmp_path):
+        objs = random_polygons(20, Side.R, seed=2) + []
+        path = tmp_path / "objs.wkt"
+        write_objects_wkt(objs, str(path))
+        back = read_objects_wkt(str(path), Side.R)
+        assert len(back) == 20
+        for a, b in zip(objs, back):
+            assert a.ring == pytest.approx(b.ring)
+
+    def test_mixed_lines_round_trip(self, tmp_path):
+        objs = random_polylines(10, Side.S, seed=3)
+        path = tmp_path / "lines.wkt"
+        write_objects_wkt(objs, str(path))
+        back = read_objects_wkt(str(path), Side.S, payload_bytes=16)
+        assert all(o.payload_bytes == 16 for o in back)
+        assert back[0].points == pytest.approx(objs[0].points)
+
+    def test_point_file_via_object_reader_rejected(self, tmp_path):
+        path = tmp_path / "pts.wkt"
+        path.write_text("POINT (0 0)\n")
+        with pytest.raises(WKTError):
+            read_objects_wkt(str(path), Side.R)
+
+    def test_object_file_via_point_reader_rejected(self, tmp_path):
+        path = tmp_path / "objs.wkt"
+        path.write_text("LINESTRING (0 0, 1 1)\n")
+        with pytest.raises(WKTError):
+            read_points_wkt(str(path))
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "pts.wkt"
+        path.write_text("POINT (0 0)\n\nPOINT (1 1)\n")
+        assert len(read_points_wkt(str(path))) == 2
+
+
+def test_wkt_objects_join_end_to_end(tmp_path):
+    """WKT-loaded objects flow straight into the object join."""
+    from repro.joins.object_join import ObjectSet, object_intersection_join
+
+    r_objs = random_polygons(60, Side.R, mean_size=0.03, seed=4)
+    s_objs = random_polylines(60, Side.S, mean_size=0.03, seed=5)
+    pr, ps_ = tmp_path / "r.wkt", tmp_path / "s.wkt"
+    write_objects_wkt(r_objs, str(pr))
+    write_objects_wkt(s_objs, str(ps_))
+    r = ObjectSet(read_objects_wkt(str(pr), Side.R), "r")
+    s = ObjectSet(read_objects_wkt(str(ps_), Side.S), "s")
+    res = object_intersection_join(r, s)
+    from repro.geometry.objects import objects_intersect
+
+    truth = {
+        (a.pid, b.pid) for a in r_objs for b in s_objs if objects_intersect(a, b)
+    }
+    assert res.pairs_set() == truth
