@@ -4,7 +4,9 @@ Scale control: the environment variable ``REPRO_BENCH_N`` sets the
 stand-in for the paper's 100M-point base cardinality (default 20000,
 which keeps the full suite in the minutes range while preserving the
 paper's per-cell densities).  ``REPRO_BENCH_QUICK=1`` shrinks sweeps for
-smoke runs.
+smoke runs.  ``REPRO_BENCH_BACKEND`` selects the execution backend the
+grid joins run on (``serial`` | ``threads`` | ``processes``); metrics
+then carry a measured local-join makespan next to the modelled one.
 """
 
 from __future__ import annotations
@@ -40,12 +42,15 @@ class BenchScale:
     quick: bool
     num_workers: int = 12
     num_partitions: int = 96
+    #: Execution backend of the local-join phase for all grid joins.
+    backend: str = "serial"
 
     @classmethod
     def from_env(cls) -> "BenchScale":
         return cls(
             base_n=int(os.environ.get("REPRO_BENCH_N", "20000")),
             quick=os.environ.get("REPRO_BENCH_QUICK", "0") == "1",
+            backend=os.environ.get("REPRO_BENCH_BACKEND", "serial"),
         )
 
 
@@ -93,6 +98,7 @@ def run_grid_method(
         num_workers=overrides.pop("num_workers", scale.num_workers),
         num_partitions=overrides.pop("num_partitions", scale.num_partitions),
         collect_pairs=overrides.pop("collect_pairs", False),
+        execution_backend=overrides.pop("execution_backend", scale.backend),
         **overrides,
     )
     return distance_join(r, s, cfg).metrics

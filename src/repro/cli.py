@@ -21,7 +21,10 @@ import sys
 from repro.bench.harness import BenchScale
 from repro.data.datasets import DEFAULT_BASE_N, load_dataset
 from repro.data.io import read_points_text, write_points_text
+from repro.engine.executor import BACKENDS
 from repro.joins.api import ALL_METHODS, spatial_join
+from repro.joins.distance_join import GRID_METHODS
+from repro.joins.local import LOCAL_KERNELS
 
 _DATASETS = ("R1", "R2", "S1", "S2")
 
@@ -36,19 +39,25 @@ def _load_input(spec: str, base_n: int, payload: int):
 def _cmd_join(args: argparse.Namespace) -> int:
     r = _load_input(args.r, args.base_n, args.payload)
     s = _load_input(args.s, args.base_n, args.payload)
-    result = spatial_join(
-        r, s, eps=args.eps, method=args.method,
-        **(
-            {}
-            if args.method in ("naive",)
-            else {"num_workers": args.workers}
-        ),
-    )
+    options = {}
+    if args.method not in ("naive",):
+        options["num_workers"] = args.workers
+    if args.method in GRID_METHODS:
+        # execution backend and kernel choice exist only on the grid driver
+        options["execution_backend"] = args.backend
+        options["local_kernel"] = args.kernel
+    result = spatial_join(r, s, eps=args.eps, method=args.method, **options)
     m = result.metrics
     print(f"inputs: {len(r):,} x {len(s):,} points, eps={args.eps}, "
           f"method={args.method}")
     print(m.summary())
     print(f"selectivity: {m.selectivity:.3g}   candidates: {m.candidate_pairs:,}")
+    if args.method in GRID_METHODS:
+        print(
+            f"local join [{m.execution_backend}/{args.kernel}]: "
+            f"measured makespan {m.join_wall_makespan * 1000:.1f}ms "
+            f"(modelled {m.join_time_model:.2f}s)"
+        )
     if args.show_pairs:
         for rid, sid in sorted(result.pairs_set())[: args.show_pairs]:
             print(f"  ({rid}, {sid})")
@@ -144,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--eps", type=float, default=0.012)
     join.add_argument("--method", choices=ALL_METHODS, default="lpib")
     join.add_argument("--workers", type=int, default=12)
+    join.add_argument("--backend", choices=BACKENDS, default="serial",
+                      help="execution backend for the local-join phase "
+                           "(grid methods only)")
+    join.add_argument("--kernel", choices=sorted(LOCAL_KERNELS),
+                      default="plane_sweep",
+                      help="per-cell local join kernel (grid methods only)")
     join.add_argument("--base-n", type=int, default=DEFAULT_BASE_N,
                       help="cardinality for generated datasets")
     join.add_argument("--payload", type=int, default=0, help="payload bytes per tuple")

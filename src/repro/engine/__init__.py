@@ -9,6 +9,13 @@ execution time used by the benchmark figures.
 """
 
 from repro.engine.cluster import SimCluster, Worker
+from repro.engine.executor import (
+    BACKENDS,
+    ExecutionPlan,
+    ExecutionReport,
+    build_execution_plan,
+    execute_plan,
+)
 from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
 from repro.engine.partitioner import (
     ExplicitPartitioner,
@@ -20,7 +27,10 @@ from repro.engine.shuffle import ShuffleStats
 from repro.engine.rdd import SimPairRDD, SimRDD
 
 __all__ = [
+    "BACKENDS",
     "CostModel",
+    "ExecutionPlan",
+    "ExecutionReport",
     "ExplicitPartitioner",
     "HashPartitioner",
     "JoinMetrics",
@@ -31,5 +41,7 @@ __all__ = [
     "SimPairRDD",
     "SimRDD",
     "Worker",
+    "build_execution_plan",
+    "execute_plan",
     "lpt_assignment",
 ]

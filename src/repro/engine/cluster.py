@@ -17,18 +17,34 @@ from repro.engine.metrics import CostModel
 
 @dataclass
 class Worker:
-    """One simulated executor."""
+    """One simulated executor.
+
+    Besides the modelled clocks, a worker carries *measured* wall clocks:
+    when a phase actually runs on a real execution backend (see
+    :mod:`repro.engine.executor`), the host seconds spent on this worker's
+    share of the phase are recorded here for measured-vs-modelled
+    comparisons.
+    """
 
     worker_id: int
     clocks: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    wall_clocks: dict[str, float] = field(default_factory=lambda: defaultdict(float))
 
     def add(self, phase: str, seconds: float) -> None:
         self.clocks[phase] += seconds
+
+    def add_wall(self, phase: str, seconds: float) -> None:
+        self.wall_clocks[phase] += seconds
 
     def total(self, phases: tuple[str, ...] | None = None) -> float:
         if phases is None:
             return sum(self.clocks.values())
         return sum(self.clocks.get(p, 0.0) for p in phases)
+
+    def wall_total(self, phases: tuple[str, ...] | None = None) -> float:
+        if phases is None:
+            return sum(self.wall_clocks.values())
+        return sum(self.wall_clocks.get(p, 0.0) for p in phases)
 
 
 class SimCluster:
@@ -52,6 +68,10 @@ class SimCluster:
     def add_cost(self, worker_id: int, phase: str, seconds: float) -> None:
         self.workers[worker_id].add(phase, seconds)
 
+    def record_wall(self, worker_id: int, phase: str, seconds: float) -> None:
+        """Record measured host seconds for one worker's share of a phase."""
+        self.workers[worker_id].add_wall(phase, seconds)
+
     def phase_makespan(self, *phases: str) -> float:
         """Slowest worker over the given phases."""
         return max(w.total(phases) for w in self.workers)
@@ -60,6 +80,15 @@ class SimCluster:
         """Per-worker modelled cost over the given phases."""
         return [w.total(phases) for w in self.workers]
 
+    def phase_wall_makespan(self, *phases: str) -> float:
+        """Slowest worker by *measured* wall clock over the given phases."""
+        return max(w.wall_total(phases) for w in self.workers)
+
+    def phase_wall_loads(self, *phases: str) -> list[float]:
+        """Per-worker measured wall seconds over the given phases."""
+        return [w.wall_total(phases) for w in self.workers]
+
     def reset(self) -> None:
         for w in self.workers:
             w.clocks.clear()
+            w.wall_clocks.clear()

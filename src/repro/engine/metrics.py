@@ -104,6 +104,13 @@ class JoinMetrics:
     # per-worker modelled join cost, for load-balance analysis
     worker_join_costs: list[float] = field(default_factory=list)
 
+    # real execution backend of the local-join phase and its measurements:
+    # the makespan is the slowest worker group's measured kernel seconds --
+    # the quantity to hold against ``join_time_model``
+    execution_backend: str = "serial"
+    join_wall_makespan: float = 0.0
+    worker_join_wall: list[float] = field(default_factory=list)
+
     # extra per-experiment annotations (e.g. dedup cost, marking stats)
     extra: dict[str, float] = field(default_factory=dict)
 

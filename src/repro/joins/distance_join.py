@@ -38,6 +38,7 @@ from repro.agreements.policies import (
 from repro.data.pointset import PointSet
 from repro.data.sampling import bernoulli_sample
 from repro.engine.cluster import SimCluster
+from repro.engine.executor import BACKENDS, build_execution_plan, execute_plan
 from repro.engine.lpt import lpt_assignment
 from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
 from repro.engine.partitioner import ExplicitPartitioner, HashPartitioner
@@ -100,6 +101,14 @@ class JoinConfig:
     #: job dies with :class:`SimulatedOOMError` -- the fate of the
     #: eps-grid baseline at x4 data in the paper (Fig. 13).
     memory_limit_bytes: int | None = None
+    #: How the local-join phase actually runs on the host: ``serial``,
+    #: ``threads`` or ``processes`` (see :mod:`repro.engine.executor`).
+    #: All backends produce bit-identical result pairs; the measured
+    #: per-worker wall clocks land in the metrics either way.
+    execution_backend: str = "serial"
+    #: OS-level worker cap for the parallel backends (``None``: one per
+    #: host CPU, at most one per simulated worker).
+    executor_workers: int | None = None
 
     def resolved_partitions(self) -> int:
         return self.num_partitions or 8 * self.num_workers
@@ -348,47 +357,73 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     timer.start("join")
     if not cfg.collect_pairs and not cfg.duplicate_free:
         raise ValueError("the deduplicating variant requires collect_pairs")
-    kernel = LOCAL_KERNELS[cfg.local_kernel]
-    out_r: list[np.ndarray] = []
-    out_s: list[np.ndarray] = []
-    out_src: list[np.ndarray] = []
-    result_count = 0
-    candidates_total = 0
+    LOCAL_KERNELS[cfg.local_kernel]  # fail fast on an unknown kernel
+    if cfg.execution_backend not in BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {cfg.execution_backend!r}; "
+            f"choose from {BACKENDS}"
+        )
     r_groups, s_groups = per_side[Side.R], per_side[Side.S]
-    for cell, r_idx in r_groups.items():
-        s_idx = s_groups.get(cell)
-        if s_idx is None:
-            continue
-        rid, sid, candidates = kernel(
-            r.ids[r_idx], r.xs[r_idx], r.ys[r_idx],
-            s.ids[s_idx], s.xs[s_idx], s.ys[s_idx],
-            cfg.eps,
-        )
-        candidates_total += candidates
-        result_count += len(rid)
-        worker = cell_worker[cell]
+    # anchor each cell's eps-grid at its MBR origin: bucket boundaries --
+    # and hence candidate counts -- become independent of which input is R
+    # and of the points (natives or replicas) actually present in the cell
+    origins = {}
+    for cell in r_groups:
+        if cell in s_groups:
+            cx, cy = grid.cell_pos(cell)
+            origins[cell] = (
+                grid.mbr.xmin + cx * grid.cell_w,
+                grid.mbr.ymin + cy * grid.cell_h,
+            )
+    plan = build_execution_plan(
+        (r.ids, r.xs, r.ys),
+        (s.ids, s.xs, s.ys),
+        r_groups,
+        s_groups,
+        cell_worker,
+        origins,
+    )
+    report = execute_plan(
+        plan,
+        cfg.local_kernel,
+        cfg.eps,
+        backend=cfg.execution_backend,
+        max_workers=cfg.executor_workers,
+    )
+    pair_counts = np.array([len(rid) for rid in report.pair_r], dtype=np.int64)
+    result_count = int(pair_counts.sum())
+    for pos in range(plan.num_cells):
         cluster.add_cost(
-            worker,
+            int(plan.workers[pos]),
             "join",
-            candidates * cm.compare_cost + len(rid) * cm.emit_cost,
+            float(report.candidates[pos]) * cm.compare_cost
+            + float(pair_counts[pos]) * cm.emit_cost,
         )
-        if len(rid) and cfg.collect_pairs:
-            out_r.append(rid)
-            out_s.append(sid)
-            out_src.append(np.full(len(rid), worker, dtype=np.int64))
+    for worker_id, seconds in report.worker_wall.items():
+        cluster.record_wall(worker_id, "join", seconds)
 
-    r_ids = np.concatenate(out_r) if out_r else np.empty(0, dtype=np.int64)
-    s_ids = np.concatenate(out_s) if out_s else np.empty(0, dtype=np.int64)
-    metrics.candidate_pairs = candidates_total
+    if cfg.collect_pairs and result_count:
+        r_ids = np.concatenate(report.pair_r)
+        s_ids = np.concatenate(report.pair_s)
+        src = np.repeat(plan.workers, pair_counts)
+    else:
+        r_ids = np.empty(0, dtype=np.int64)
+        s_ids = np.empty(0, dtype=np.int64)
+        src = np.empty(0, dtype=np.int64)
+    metrics.candidate_pairs = int(report.candidates.sum())
     metrics.join_time_model = cluster.phase_makespan("join")
     metrics.worker_join_costs = cluster.phase_loads("join")
+    metrics.execution_backend = cfg.execution_backend
+    metrics.join_wall_makespan = report.wall_makespan
+    metrics.worker_join_wall = cluster.phase_wall_loads("join")
+    metrics.extra["join_wall_total"] = report.wall_total
+    metrics.extra["executor_os_workers"] = float(report.os_workers)
 
     # ------------------------------------------------------------------
     # optional deduplication step (the Table 6 variant)
     # ------------------------------------------------------------------
     if not cfg.duplicate_free:
         timer.start("dedup")
-        src = np.concatenate(out_src) if out_src else np.empty(0, dtype=np.int64)
         r_ids, s_ids, dedup_time = _distinct_pairs(
             r_ids, s_ids, src, cluster, shuffle, num_partitions, cm
         )
@@ -427,9 +462,11 @@ def _distinct_pairs(
     every result pair is shuffled by its key so duplicates co-locate, then
     each partition sorts/uniquifies its pairs.
     """
+    from repro.joins.postprocess import pack_pair_keys, unpack_pair_keys
+
     if len(r_ids) == 0:
         return r_ids, s_ids, 0.0
-    key = r_ids.astype(np.int64) * np.int64(2**32) + s_ids.astype(np.int64)
+    key = pack_pair_keys(r_ids, s_ids)
     parts = (key % num_partitions).astype(np.int64)
     dst_workers = parts % cluster.num_workers
     shuffle.add_transfers(src_workers, dst_workers, _PAIR_BYTES)
@@ -443,12 +480,8 @@ def _distinct_pairs(
         sel = dst_workers == w
         if sel.any():
             cluster.add_cost(w, "dedup", float(cost[sel].sum()))
-    uniq = np.unique(key)
-    return (
-        (uniq >> np.int64(32)).astype(np.int64),
-        (uniq & np.int64(0xFFFFFFFF)).astype(np.int64),
-        cluster.phase_makespan("dedup"),
-    )
+    uniq_r, uniq_s = unpack_pair_keys(np.unique(key))
+    return uniq_r, uniq_s, cluster.phase_makespan("dedup")
 
 
 def join_with_method(

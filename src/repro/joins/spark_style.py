@@ -122,6 +122,15 @@ def spark_style_join(
         lambda kv: within_eps(kv[1][0][1], kv[1][0][2], kv[1][1][1], kv[1][1][2], eps)
     )
     produced = [(rtup[0], stup[0]) for _cell, (rtup, stup) in matched.collect()]
+    if produced:
+        # vectorized duplicate elimination, shared with the array driver
+        from repro.joins.postprocess import distinct_pairs
+
+        arr = np.asarray(produced, dtype=np.int64)
+        uniq_r, uniq_s = distinct_pairs(arr[:, 0], arr[:, 1])
+        pairs = set(zip(uniq_r.tolist(), uniq_s.tolist()))
+    else:
+        pairs = set()
     return SparkStyleResult(
-        pairs=set(produced), shuffle=shuffle, grid=grid, produced=len(produced)
+        pairs=pairs, shuffle=shuffle, grid=grid, produced=len(produced)
     )

@@ -1,0 +1,88 @@
+"""Fast performance-regression guards (``-m perfsmoke``, well under 30s).
+
+These run as part of the default tier-1 selection; ``-m perfsmoke``
+selects just them.  Thresholds are deliberately loose (3x) so the guard
+trips only on a real algorithmic regression -- e.g. the vectorized
+``grid_hash_join`` degrading back to per-point Python loops -- and not
+on machine noise.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.joins.local import grid_hash_join, plane_sweep_join
+
+EPS = 0.005
+N = 20_000
+
+
+def _cell(seed):
+    rng = np.random.default_rng(seed)
+    return (
+        np.arange(N, dtype=np.int64),
+        rng.uniform(0.0, 1.0, N),
+        rng.uniform(0.0, 1.0, N),
+    )
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.mark.perfsmoke
+def test_grid_hash_not_slower_than_plane_sweep():
+    """grid_hash on a 20k-point cell must stay within 3x of plane_sweep.
+
+    The vectorized grid hash examines far fewer candidates than the
+    sweep (eps-bucket neighbourhoods vs. full x-strips), so anything
+    beyond 3x means the kernel lost its vectorization.
+    """
+    r_ids, r_xs, r_ys = _cell(101)
+    s_ids, s_xs, s_ys = _cell(102)
+
+    sweep_t, sweep = _best_of(
+        lambda: plane_sweep_join(r_ids, r_xs, r_ys, s_ids, s_xs, s_ys, EPS)
+    )
+    hash_t, hashed = _best_of(
+        lambda: grid_hash_join(r_ids, r_xs, r_ys, s_ids, s_xs, s_ys, EPS)
+    )
+
+    # identical result pairs, and the hash prunes harder than the sweep
+    assert set(zip(hashed[0].tolist(), hashed[1].tolist())) == set(
+        zip(sweep[0].tolist(), sweep[1].tolist())
+    )
+    assert hashed[2] <= sweep[2]
+
+    assert hash_t <= 3.0 * sweep_t, (
+        f"vectorized grid_hash took {hash_t:.3f}s vs plane_sweep "
+        f"{sweep_t:.3f}s (>3x): vectorization regressed"
+    )
+
+
+@pytest.mark.perfsmoke
+def test_grid_hash_scales_subquadratically():
+    """Doubling the input must not quadruple grid_hash's runtime 3x over.
+
+    A quadratic (all-pairs) regression would scale ~4x per doubling; the
+    bucketed kernel scales near-linearly at fixed eps-density.
+    """
+    def run_at(n):
+        rng = np.random.default_rng(n)
+        ids = np.arange(n, dtype=np.int64)
+        xs, ys = rng.uniform(0, 1, n), rng.uniform(0, 1, n)
+        t, _ = _best_of(lambda: grid_hash_join(ids, xs, ys, ids, xs, ys, EPS))
+        return t
+
+    small, large = run_at(N // 2), run_at(N)
+    # linear would be ~2x, quadratic ~4x; allow generous noise headroom
+    assert large <= 12.0 * max(small, 1e-4), (
+        f"grid_hash: {N//2} pts -> {small:.3f}s but {N} pts -> {large:.3f}s"
+    )
