@@ -1,0 +1,130 @@
+"""Fault-recovery overhead benchmark: what does rescue cost?
+
+Runs the same epsilon-distance join under deterministic fault plans of
+increasing failure probability (``p = 0, 0.1, 0.3, 0.5`` for ``kill``
+and ``kernel`` faults) and records, per rate: end-to-end wall seconds,
+measured recovery seconds (failed attempts + backoff waits), retry and
+speculation counts, the modelled recovery makespan, and the overhead
+relative to the fault-free run.  Every run must produce exactly as many
+results as the fault-free one -- recovery never changes the answer.
+Results land in ``benchmarks/results/BENCH_faults.json``.
+
+Run directly for the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py \
+        --n 60000 --workers 4 --backend threads
+
+On a single-CPU host retries serialize behind live tasks, so the
+recorded overhead is an upper bound for multi-core machines; the JSON
+records ``cpu_count`` so the numbers read honestly.
+"""
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_faults.json"
+
+RATES = (0.0, 0.1, 0.3, 0.5)
+
+
+def run_once(n, eps, kernel, backend, workers, fault_spec, seed_r=5, seed_s=6):
+    import numpy as np
+
+    from repro.data.pointset import PointSet
+    from repro.joins.distance_join import JoinConfig, distance_join
+
+    rng_r = np.random.default_rng(seed_r)
+    rng_s = np.random.default_rng(seed_s)
+    r = PointSet(rng_r.uniform(0, 1, n), rng_r.uniform(0, 1, n), name="R")
+    s = PointSet(rng_s.uniform(0, 1, n), rng_s.uniform(0, 1, n), name="S")
+
+    cfg = JoinConfig(
+        eps=eps,
+        method="lpib",
+        num_workers=workers,
+        local_kernel=kernel,
+        execution_backend=backend,
+        executor_workers=workers,
+        faults=fault_spec,
+        max_retries=3,
+    )
+    t0 = time.perf_counter()
+    res = distance_join(r, s, cfg)
+    wall = time.perf_counter() - t0
+    m = res.metrics
+    return {
+        "fault_spec": fault_spec or "",
+        "backend": backend,
+        "kernel": kernel,
+        "n": n,
+        "eps": eps,
+        "sim_workers": workers,
+        "wall_seconds": round(wall, 4),
+        "recovery_seconds": round(m.recovery_seconds, 4),
+        "recovery_time_model": round(m.recovery_time_model, 4),
+        "task_attempts": m.task_attempts,
+        "task_retries": m.task_retries,
+        "speculative_wins": m.speculative_wins,
+        "fault_events": m.fault_events,
+        "fallback_backend": m.fallback_backend,
+        "results": m.results,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=60_000, help="points per side")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--eps", type=float, default=0.009)
+    ap.add_argument("--kernel", default="grid_hash")
+    ap.add_argument("--backend", default="threads",
+                    choices=("serial", "threads", "processes"))
+    ap.add_argument("--rates", nargs="*", type=float, default=list(RATES),
+                    help="injected failure probabilities to sweep")
+    ap.add_argument("--out", default=str(RESULTS))
+    args = ap.parse_args(argv)
+
+    rows = []
+    baseline = None
+    for rate in args.rates:
+        spec = None if rate == 0 else f"kill:p={rate:g}:times=1,kernel:p={rate:g}:times=1"
+        row = run_once(args.n, args.eps, args.kernel, args.backend,
+                       args.workers, spec)
+        row["fault_rate"] = rate
+        if rate == 0:
+            baseline = row
+        if baseline is not None:
+            if row["results"] != baseline["results"]:
+                raise AssertionError(
+                    f"recovery changed the answer at p={rate}: "
+                    f"{row['results']} vs {baseline['results']} results"
+                )
+            row["overhead_vs_clean"] = round(
+                row["wall_seconds"] / max(baseline["wall_seconds"], 1e-9), 3
+            )
+        rows.append(row)
+        print(
+            f"p={rate:>4}: wall {row['wall_seconds']:.2f}s, "
+            f"recovery {row['recovery_seconds'] * 1000:.0f}ms measured / "
+            f"{row['recovery_time_model']:.2f}s modelled, "
+            f"retries {row['task_retries']}, "
+            f"{row['results']:,} results"
+        )
+
+    payload = {
+        "description": "recovery overhead vs injected failure rate",
+        "cpu_count": os.cpu_count(),
+        "runs": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

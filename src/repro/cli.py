@@ -22,11 +22,53 @@ from repro.bench.harness import BenchScale
 from repro.data.datasets import DEFAULT_BASE_N, load_dataset
 from repro.data.io import read_points_text, write_points_text
 from repro.engine.executor import BACKENDS
+from repro.engine.faults import FaultPlan
 from repro.joins.api import ALL_METHODS, spatial_join
 from repro.joins.distance_join import GRID_METHODS
 from repro.joins.local import LOCAL_KERNELS
 
 _DATASETS = ("R1", "R2", "S1", "S2")
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a clear message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _fault_spec(text: str) -> FaultPlan:
+    """argparse type: a ``--faults`` spec, parsed up front."""
+    try:
+        return FaultPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _load_input(spec: str, base_n: int, payload: int):
@@ -43,9 +85,15 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if args.method not in ("naive",):
         options["num_workers"] = args.workers
     if args.method in GRID_METHODS:
-        # execution backend and kernel choice exist only on the grid driver
+        # execution backend, kernel choice and fault tolerance exist only
+        # on the grid driver
         options["execution_backend"] = args.backend
         options["local_kernel"] = args.kernel
+        options["max_retries"] = args.max_retries
+        if args.task_timeout is not None:
+            options["task_timeout"] = args.task_timeout
+        if args.faults is not None:
+            options["faults"] = args.faults.with_seed(args.fault_seed)
     result = spatial_join(r, s, eps=args.eps, method=args.method, **options)
     m = result.metrics
     print(f"inputs: {len(r):,} x {len(s):,} points, eps={args.eps}, "
@@ -58,6 +106,16 @@ def _cmd_join(args: argparse.Namespace) -> int:
             f"measured makespan {m.join_wall_makespan * 1000:.1f}ms "
             f"(modelled {m.join_time_model:.2f}s)"
         )
+        if args.faults is not None or m.task_retries or m.speculative_wins:
+            print(
+                f"fault tolerance: attempts={m.task_attempts} "
+                f"retries={m.task_retries} "
+                f"speculative_wins={m.speculative_wins} "
+                f"recovery {m.recovery_seconds * 1000:.1f}ms measured / "
+                f"{m.recovery_time_model:.2f}s modelled"
+            )
+            if m.fallback_backend:
+                print(f"  backend degraded to {m.fallback_backend!r}")
     if args.show_pairs:
         for rid, sid in sorted(result.pairs_set())[: args.show_pairs]:
             print(f"  ({rid}, {sid})")
@@ -152,13 +210,27 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--s", default="S2", help="dataset codename or id,x,y file")
     join.add_argument("--eps", type=float, default=0.012)
     join.add_argument("--method", choices=ALL_METHODS, default="lpib")
-    join.add_argument("--workers", type=int, default=12)
+    join.add_argument("--workers", type=_positive_int, default=12)
     join.add_argument("--backend", choices=BACKENDS, default="serial",
                       help="execution backend for the local-join phase "
                            "(grid methods only)")
     join.add_argument("--kernel", choices=sorted(LOCAL_KERNELS),
                       default="plane_sweep",
                       help="per-cell local join kernel (grid methods only)")
+    join.add_argument("--faults", type=_fault_spec, default=None,
+                      metavar="SPEC",
+                      help="deterministic fault injection, e.g. "
+                           "'kill:p=1:times=1,straggler:p=0.3:delay=0.1' "
+                           "(see docs/FAULTS.md; grid methods only)")
+    join.add_argument("--fault-seed", type=int, default=0,
+                      help="seed of the fault plan's decision hash")
+    join.add_argument("--max-retries", type=_nonnegative_int, default=2,
+                      help="per-task retry budget for failed tasks and "
+                           "shuffle fetches")
+    join.add_argument("--task-timeout", type=_positive_float, default=None,
+                      metavar="SECONDS",
+                      help="straggler threshold: tasks running longer get a "
+                           "speculative copy")
     join.add_argument("--base-n", type=int, default=DEFAULT_BASE_N,
                       help="cardinality for generated datasets")
     join.add_argument("--payload", type=int, default=0, help="payload bytes per tuple")
@@ -178,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--s", default="S2")
     pred.add_argument("--eps", type=float, default=0.012)
     pred.add_argument("--sample-rate", type=float, default=0.03)
-    pred.add_argument("--workers", type=int, default=12)
+    pred.add_argument("--workers", type=_positive_int, default=12)
     pred.add_argument("--base-n", type=int, default=DEFAULT_BASE_N)
     pred.add_argument("--payload", type=int, default=0)
     pred.set_defaults(fn=_cmd_predict)

@@ -13,8 +13,19 @@ from repro.engine.executor import (
     BACKENDS,
     ExecutionPlan,
     ExecutionReport,
+    RetryPolicy,
     build_execution_plan,
     execute_plan,
+)
+from repro.engine.faults import (
+    FAULT_KINDS,
+    FaultClause,
+    FaultEvent,
+    FaultPlan,
+    InjectedKernelError,
+    InjectedWorkerKill,
+    RetryBudgetExhausted,
+    ShuffleFetchError,
 )
 from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
 from repro.engine.partitioner import (
@@ -32,10 +43,19 @@ __all__ = [
     "ExecutionPlan",
     "ExecutionReport",
     "ExplicitPartitioner",
+    "FAULT_KINDS",
+    "FaultClause",
+    "FaultEvent",
+    "FaultPlan",
     "HashPartitioner",
+    "InjectedKernelError",
+    "InjectedWorkerKill",
     "JoinMetrics",
     "Partitioner",
     "PhaseTimer",
+    "RetryBudgetExhausted",
+    "RetryPolicy",
+    "ShuffleFetchError",
     "ShuffleStats",
     "SimCluster",
     "SimPairRDD",

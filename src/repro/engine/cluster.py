@@ -14,6 +14,11 @@ from dataclasses import dataclass, field
 
 from repro.engine.metrics import CostModel
 
+#: Phases that only exist when fault recovery ran: re-executed join
+#: lineage and injected straggler delays land in ``recovery``; shuffle
+#: re-reads after a failed fetch land in ``fetch_retry``.
+RECOVERY_PHASES = ("recovery", "fetch_retry")
+
 
 @dataclass
 class Worker:
@@ -87,6 +92,17 @@ class SimCluster:
     def phase_wall_loads(self, *phases: str) -> list[float]:
         """Per-worker measured wall seconds over the given phases."""
         return [w.wall_total(phases) for w in self.workers]
+
+    def recovery_time(self) -> float:
+        """Modelled makespan of all fault-recovery work (0 without faults).
+
+        Recovery work -- recomputed task lineage, straggler delays,
+        shuffle re-reads -- is charged to the :data:`RECOVERY_PHASES`
+        clocks of the worker that performs it, so a failure on an
+        already-loaded worker stretches the modelled makespan more than
+        one on an idle worker, exactly like a Spark stage retry.
+        """
+        return self.phase_makespan(*RECOVERY_PHASES)
 
     def reset(self) -> None:
         for w in self.workers:

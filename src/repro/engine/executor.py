@@ -20,22 +20,96 @@ wall-clock per worker lines up with the modelled per-worker clocks in
 in ascending plan order inside each group and stitches results back by
 plan position, so the concatenated output is bit-identical across
 backends.
+
+Execution is fault tolerant.  A :class:`RetryPolicy` governs what
+happens when a task fails -- whether the failure is injected by a
+:class:`~repro.engine.faults.FaultPlan` or real (a crashed pool worker,
+a kernel exception):
+
+* failed tasks are retried with exponential backoff up to a retry
+  budget;
+* tasks running past ``task_timeout`` are treated as stragglers and a
+  speculative copy is launched -- the first finisher wins, the loser is
+  cancelled or its result discarded;
+* a broken process pool (a worker died) is detected, the pool is
+  rebuilt, and the lost tasks are re-executed;
+* when a backend cannot finish a task inside its budget, execution
+  degrades ``processes`` -> ``threads`` -> ``serial`` before giving up
+  with :class:`~repro.engine.faults.RetryBudgetExhausted`.
+
+Recovery never changes the answer: results are stitched by plan
+position regardless of which attempt produced them, so a faulted run is
+bit-identical to a fault-free one.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import defaultdict
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Mapping
 
 import numpy as np
+
+from repro.engine.faults import (
+    FaultEvent,
+    FaultPlan,
+    InjectedKernelError,
+    InjectedWorkerKill,
+    RetryBudgetExhausted,
+)
+
+from typing import Mapping
 
 #: Execution backends accepted by :func:`execute_plan`.
 BACKENDS = ("serial", "threads", "processes")
 
+#: Where each backend falls back to when it cannot finish a task.
+_FALLBACK = {"processes": "threads", "threads": "serial", "serial": None}
+
+#: Scheduler wake-up interval (seconds) while waiting on pool futures.
+_TICK = 0.02
+
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor recovers from task failures.
+
+    ``max_retries`` is a *per-task, per-backend* budget: a task may be
+    re-run up to ``max_retries`` times on the backend it started on
+    before that backend declares it unrecoverable; with ``degrade``
+    enabled the task then moves down the fallback chain (processes ->
+    threads -> serial), where the budget applies afresh.  Attempt
+    *numbers* keep incrementing across backends, so a deterministic
+    fault plan never re-fires a fault the task already survived.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.25
+    #: Straggler threshold: a running task older than this gets a
+    #: speculative copy (``None`` disables straggler detection).
+    task_timeout: float | None = None
+    speculative: bool = True
+    degrade: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {self.task_timeout}")
+
+    def backoff(self, retry_index: int) -> float:
+        """Seconds to wait before retry number ``retry_index`` (0-based)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(
+            self.backoff_cap, self.backoff_base * self.backoff_factor**retry_index
+        )
 
 
 @dataclass(frozen=True)
@@ -84,6 +158,30 @@ class ExecutionReport:
     candidates: np.ndarray = field(default_factory=lambda: _EMPTY.copy())
     #: Measured seconds per simulated worker (its whole cell group).
     worker_wall: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # fault tolerance
+    # ------------------------------------------------------------------
+    #: Backend that finished the last task (equals ``backend`` unless
+    #: execution degraded down the fallback chain).
+    backend_used: str = ""
+    #: Fallback backends entered, in order (empty when healthy).
+    degraded: list[str] = field(default_factory=list)
+    #: Total task attempts issued (first runs + retries + speculation).
+    attempts: int = 0
+    #: Re-executions of failed tasks (attempts - tasks - speculative).
+    retries: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    #: Times a broken process pool was replaced.
+    pool_rebuilds: int = 0
+    #: Measured seconds lost to failed attempts and backoff waits.
+    recovery_seconds: float = 0.0
+    #: Injected-fault decisions consulted while scheduling attempts.
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    #: Attempts per simulated worker's task, for lineage-recompute
+    #: charging on the modelled clocks.
+    task_attempts: dict[int, int] = field(default_factory=dict)
 
     @property
     def wall_makespan(self) -> float:
@@ -172,6 +270,54 @@ def _run_group(plan: ExecutionPlan, positions: np.ndarray, kernel_name: str, eps
     return results, time.perf_counter() - start
 
 
+def _inject_then_run(
+    plan: ExecutionPlan,
+    positions: np.ndarray,
+    kernel_name: str,
+    eps: float,
+    worker_id: int,
+    attempt: int,
+    faults: FaultPlan | None,
+):
+    """Apply straggler/kernel faults for this attempt, then run the group.
+
+    The straggler sleep counts into the returned elapsed seconds: a slow
+    node's task *is* slow, and the measured makespan should show it.
+    """
+    start = time.perf_counter()
+    if faults is not None:
+        delay = faults.straggler_delay(worker_id, attempt)
+        if delay > 0:
+            time.sleep(delay)
+        if faults.decide("kernel", worker_id, attempt) is not None:
+            raise InjectedKernelError(
+                f"injected kernel failure in worker {worker_id} "
+                f"(attempt {attempt})"
+            )
+    results, _ = _run_group(plan, positions, kernel_name, eps)
+    return results, time.perf_counter() - start
+
+
+def _run_group_guarded(
+    plan: ExecutionPlan,
+    positions: np.ndarray,
+    kernel_name: str,
+    eps: float,
+    worker_id: int,
+    attempt: int,
+    faults: FaultPlan | None,
+):
+    """One task attempt on the serial/threads backends (kill = raise)."""
+    if faults is not None and faults.decide("kill", worker_id, attempt) is not None:
+        raise InjectedWorkerKill(
+            f"worker {worker_id} killed (attempt {attempt})"
+        )
+    results, elapsed = _inject_then_run(
+        plan, positions, kernel_name, eps, worker_id, attempt, faults
+    )
+    return worker_id, results, elapsed
+
+
 # ----------------------------------------------------------------------
 # the processes backend: shared-memory blocks, one per side
 # ----------------------------------------------------------------------
@@ -215,9 +361,19 @@ def _process_group(args) -> tuple[int, list, float]:
         cells,
         workers,
         origins,
+        attempt,
+        faults,
     ) = args
+    if faults is not None and faults.decide("kill", worker_id, attempt) is not None:
+        # a real executor loss: take the process down (breaking the pool),
+        # don't raise a catchable exception
+        os._exit(13)
     shm_r, r_ids, r_xs, r_ys = _attach_side(r_name, n_r)
-    shm_s, s_ids, s_xs, s_ys = _attach_side(s_name, n_s)
+    try:
+        shm_s, s_ids, s_xs, s_ys = _attach_side(s_name, n_s)
+    except BaseException:
+        shm_r.close()
+        raise
     try:
         plan = ExecutionPlan(
             cells, workers,
@@ -225,7 +381,9 @@ def _process_group(args) -> tuple[int, list, float]:
             s_ids, s_xs, s_ys, s_offsets,
             origins=origins,
         )
-        results, elapsed = _run_group(plan, positions, kernel_name, eps)
+        results, elapsed = _inject_then_run(
+            plan, positions, kernel_name, eps, worker_id, attempt, faults
+        )
         # force copies: the kernel outputs never alias the shared blocks
         # today (fancy indexing copies), but the blocks die with the task
         results = [
@@ -247,29 +405,300 @@ def _pool_context():
     return mp.get_context("fork" if "fork" in methods else None)
 
 
+# ----------------------------------------------------------------------
+# fault-tolerant scheduling
+# ----------------------------------------------------------------------
+class _FTState:
+    """Attempt bookkeeping shared across backend tiers."""
+
+    def __init__(self, faults: FaultPlan | None, report: ExecutionReport):
+        self.faults = faults
+        self.report = report
+        self.per_task: dict[int, int] = defaultdict(int)
+        self._next: dict[int, int] = defaultdict(int)
+        self.total_attempts = 0
+        self.last_error: BaseException | None = None
+
+    def next_attempt(self, worker_id: int) -> int:
+        """The task's next global attempt number (monotonic across tiers)."""
+        attempt = self._next[worker_id]
+        self._next[worker_id] = attempt + 1
+        self.per_task[worker_id] += 1
+        self.total_attempts += 1
+        return attempt
+
+    def note(self, worker_id: int, attempt: int, backend: str) -> None:
+        """Record which fault decisions this attempt will hit.
+
+        The fault plan is deterministic, so the parent can predict the
+        child's injections without a reporting channel -- even for a
+        ``kill``, which leaves no child to report anything.
+        """
+        if self.faults is None:
+            return
+        for kind in ("kill", "straggler", "kernel"):
+            clause = self.faults.decide(kind, worker_id, attempt)
+            if clause is not None:
+                self.report.fault_events.append(
+                    FaultEvent(
+                        kind,
+                        worker_id,
+                        attempt,
+                        backend,
+                        clause.delay if kind == "straggler" else 0.0,
+                    )
+                )
+
+
+@dataclass
+class _Flight:
+    """One in-flight task attempt on a pool backend."""
+
+    worker_id: int
+    attempt: int
+    started: float
+    speculative: bool = False
+    #: Set once a speculative copy of this attempt has been launched.
+    speculated: bool = False
+
+
+def _serial_tier(plan, tasks, kernel_name, eps, faults, policy, state, report, absorb):
+    """Run tasks in-process with per-task retries; return unrecoverable."""
+    exhausted: dict[int, np.ndarray] = {}
+    for worker_id, positions in tasks.items():
+        failures = 0
+        while True:
+            attempt = state.next_attempt(worker_id)
+            state.note(worker_id, attempt, "serial")
+            start = time.perf_counter()
+            try:
+                _, results, elapsed = _run_group_guarded(
+                    plan, positions, kernel_name, eps, worker_id, attempt, faults
+                )
+            except Exception as exc:
+                report.recovery_seconds += time.perf_counter() - start
+                state.last_error = exc
+                failures += 1
+                if failures > policy.max_retries:
+                    exhausted[worker_id] = positions
+                    break
+                pause = policy.backoff(failures - 1)
+                if pause:
+                    time.sleep(pause)
+                    report.recovery_seconds += pause
+            else:
+                absorb(worker_id, results, elapsed)
+                break
+    return exhausted
+
+
+def _pool_tier(
+    backend, plan, tasks, kernel_name, eps, faults, policy, state, report,
+    absorb, os_workers,
+):
+    """Run tasks on a thread or process pool; return unrecoverable tasks.
+
+    The scheduler loop owns four responsibilities: draining completions
+    (stitching the winner's results), retrying failures after their
+    backoff expires, replacing a broken process pool, and launching
+    speculative copies of stragglers.
+    """
+    broken_types: tuple[type[BaseException], ...] = ()
+    if backend == "processes":
+        from concurrent.futures.process import BrokenProcessPool
+
+        broken_types = (BrokenProcessPool,)
+
+    completed: set[int] = set()
+    exhausted: dict[int, np.ndarray] = {}
+    queued: dict[int, float] = {}  # worker_id -> retry-ready time
+    failures: dict[int, int] = defaultdict(int)
+    pending: dict = {}  # Future -> _Flight
+
+    def make_pool():
+        if backend == "threads":
+            return ThreadPoolExecutor(max_workers=os_workers)
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=os_workers, mp_context=_pool_context()
+        )
+
+    shm_r = shm_s = None
+    pool = None
+    try:
+        if backend == "processes":
+            shm_r = _side_to_shm(plan.r_ids, plan.r_xs, plan.r_ys)
+            shm_s = _side_to_shm(plan.s_ids, plan.s_xs, plan.s_ys)
+        pool = make_pool()
+
+        def submit(worker_id: int, speculative: bool = False) -> None:
+            attempt = state.next_attempt(worker_id)
+            state.note(worker_id, attempt, backend)
+            positions = tasks[worker_id]
+            if backend == "threads":
+                fut = pool.submit(
+                    _run_group_guarded, plan, positions, kernel_name, eps,
+                    worker_id, attempt, faults,
+                )
+            else:
+                fut = pool.submit(
+                    _process_group,
+                    (
+                        worker_id, positions, kernel_name, eps,
+                        shm_r.name, len(plan.r_ids),
+                        shm_s.name, len(plan.s_ids),
+                        plan.r_offsets, plan.s_offsets,
+                        plan.cells, plan.workers, plan.origins,
+                        attempt, faults,
+                    ),
+                )
+            pending[fut] = _Flight(
+                worker_id, attempt, time.perf_counter(), speculative
+            )
+
+        def inflight(worker_id: int) -> int:
+            return sum(1 for fl in pending.values() if fl.worker_id == worker_id)
+
+        def fail(flight: _Flight, now: float, exc: BaseException) -> None:
+            worker_id = flight.worker_id
+            report.recovery_seconds += max(0.0, now - flight.started)
+            state.last_error = exc
+            if worker_id in completed or worker_id in exhausted or worker_id in queued:
+                return
+            if inflight(worker_id):
+                return  # a sibling attempt may still win
+            failures[worker_id] += 1
+            if failures[worker_id] > policy.max_retries:
+                exhausted[worker_id] = tasks[worker_id]
+            else:
+                queued[worker_id] = now + policy.backoff(failures[worker_id] - 1)
+
+        for worker_id in tasks:
+            submit(worker_id)
+
+        while pending or queued:
+            now = time.perf_counter()
+            for worker_id, ready in sorted(queued.items()):
+                if ready <= now:
+                    del queued[worker_id]
+                    submit(worker_id)
+            if not pending:
+                soonest = min(queued.values(), default=now)
+                if soonest > now:
+                    time.sleep(min(soonest - now, 0.05))
+                continue
+            timeout = None
+            if policy.task_timeout is not None or queued:
+                timeout = _TICK
+            done, _ = wait(
+                set(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            now = time.perf_counter()
+            pool_died: BaseException | None = None
+            for fut in done:
+                flight = pending.pop(fut, None)
+                if flight is None:
+                    continue  # a finished sibling already evicted this one
+                worker_id = flight.worker_id
+                try:
+                    _, results, elapsed = fut.result()
+                except broken_types as exc:
+                    pool_died = exc
+                    fail(flight, now, exc)
+                except Exception as exc:
+                    fail(flight, now, exc)
+                else:
+                    if worker_id in completed:
+                        continue  # a sibling attempt already won
+                    completed.add(worker_id)
+                    queued.pop(worker_id, None)
+                    if flight.speculative:
+                        report.speculative_wins += 1
+                    for sibling, fl in list(pending.items()):
+                        if fl.worker_id == worker_id:
+                            sibling.cancel()
+                            del pending[sibling]
+                    absorb(worker_id, results, elapsed)
+            if pool_died is not None:
+                # the pool is unusable: every in-flight attempt died with
+                # it; replenish the pool and let fail() schedule retries
+                flights = list(pending.values())
+                pending.clear()
+                for flight in flights:
+                    fail(flight, now, pool_died)
+                pool.shutdown(wait=False)
+                pool = make_pool()
+                report.pool_rebuilds += 1
+                continue
+            if (
+                policy.task_timeout is not None
+                and policy.speculative
+                # a backlog means old flights are probably just queued, not
+                # stragglers: flight age counts from submission, the only
+                # observable moment for a process-pool task
+                and len(pending) <= os_workers
+            ):
+                for flight in list(pending.values()):
+                    if flight.speculative or flight.speculated:
+                        continue
+                    if (
+                        now - flight.started >= policy.task_timeout
+                        and inflight(flight.worker_id) == 1
+                    ):
+                        flight.speculated = True
+                        report.speculative_launched += 1
+                        submit(flight.worker_id, speculative=True)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for shm in (shm_r, shm_s):
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
+    return exhausted
+
+
 def execute_plan(
     plan: ExecutionPlan,
     kernel_name: str,
     eps: float,
     backend: str = "serial",
     max_workers: int | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ExecutionReport:
-    """Run every cell's local join on the chosen backend.
+    """Run every cell's local join on the chosen backend, fault tolerantly.
 
     ``max_workers`` caps the OS-level workers (default: the host CPU
     count, at most one per simulated-worker group).  Results come back in
-    plan order regardless of completion order.
+    plan order regardless of completion order -- and regardless of which
+    attempt, speculative copy, or fallback backend produced them.
+
+    ``faults`` injects deterministic failures (see
+    :mod:`repro.engine.faults`); ``retry`` configures recovery (default
+    :class:`RetryPolicy`).  Raises
+    :class:`~repro.engine.faults.RetryBudgetExhausted` when a task cannot
+    be completed on any backend in the fallback chain.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    policy = retry if retry is not None else RetryPolicy()
+    if faults is not None and not faults:
+        faults = None
     groups = plan.worker_groups()
     n = plan.num_cells
-    report = ExecutionReport(backend=backend, os_workers=1)
+    report = ExecutionReport(backend=backend, os_workers=1, backend_used=backend)
     report.pair_r = [_EMPTY] * n
     report.pair_s = [_EMPTY] * n
     report.candidates = np.zeros(n, dtype=np.int64)
     if n == 0:
         return report
+
+    state = _FTState(faults, report)
 
     def absorb(worker_id: int, results, elapsed: float) -> None:
         report.worker_wall[worker_id] = elapsed
@@ -278,57 +707,39 @@ def execute_plan(
             report.pair_s[p] = sid
             report.candidates[p] = cand
 
-    if backend == "serial":
-        for worker_id, positions in groups.items():
-            absorb(worker_id, *_run_group(plan, positions, kernel_name, eps))
-        return report
-
-    os_workers = max_workers or min(len(groups), os.cpu_count() or 1)
-    os_workers = max(1, min(os_workers, len(groups)))
-    report.os_workers = os_workers
-
-    if backend == "threads":
-        with ThreadPoolExecutor(max_workers=os_workers) as pool:
-            futures = {
-                pool.submit(_run_group, plan, positions, kernel_name, eps): worker_id
-                for worker_id, positions in groups.items()
-            }
-            for future, worker_id in futures.items():
-                absorb(worker_id, *future.result())
-        return report
-
-    # processes: publish both sides once, fan groups out over the pool
-    from concurrent.futures import ProcessPoolExecutor
-
-    shm_r = _side_to_shm(plan.r_ids, plan.r_xs, plan.r_ys)
-    shm_s = _side_to_shm(plan.s_ids, plan.s_xs, plan.s_ys)
-    try:
-        tasks = [
-            (
-                worker_id,
-                positions,
-                kernel_name,
-                eps,
-                shm_r.name,
-                len(plan.r_ids),
-                shm_s.name,
-                len(plan.s_ids),
-                plan.r_offsets,
-                plan.s_offsets,
-                plan.cells,
-                plan.workers,
-                plan.origins,
+    remaining = dict(groups)
+    tier = backend
+    while remaining:
+        report.backend_used = tier
+        if tier == "serial":
+            remaining = _serial_tier(
+                plan, remaining, kernel_name, eps, faults, policy, state,
+                report, absorb,
             )
-            for worker_id, positions in groups.items()
-        ]
-        with ProcessPoolExecutor(
-            max_workers=os_workers, mp_context=_pool_context()
-        ) as pool:
-            for worker_id, results, elapsed in pool.map(_process_group, tasks):
-                absorb(worker_id, results, elapsed)
-    finally:
-        shm_r.close()
-        shm_r.unlink()
-        shm_s.close()
-        shm_s.unlink()
+        else:
+            os_workers = max_workers or min(len(remaining), os.cpu_count() or 1)
+            os_workers = max(1, min(os_workers, len(remaining)))
+            if tier == backend:
+                report.os_workers = os_workers
+            remaining = _pool_tier(
+                tier, plan, remaining, kernel_name, eps, faults, policy,
+                state, report, absorb, os_workers,
+            )
+        if not remaining:
+            break
+        fallback = _FALLBACK[tier]
+        if fallback is None or not policy.degrade:
+            raise RetryBudgetExhausted(
+                f"{len(remaining)} task(s) failed after {policy.max_retries} "
+                f"retr{'y' if policy.max_retries == 1 else 'ies'} on the "
+                f"{tier!r} backend"
+            ) from state.last_error
+        report.degraded.append(fallback)
+        tier = fallback
+
+    report.attempts = state.total_attempts
+    report.retries = max(
+        0, report.attempts - len(groups) - report.speculative_launched
+    )
+    report.task_attempts = dict(state.per_task)
     return report

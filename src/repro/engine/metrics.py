@@ -111,6 +111,22 @@ class JoinMetrics:
     join_wall_makespan: float = 0.0
     worker_join_wall: list[float] = field(default_factory=list)
 
+    # fault tolerance (see repro.engine.faults / the executor's
+    # RetryPolicy): task attempts include first runs, retries and
+    # speculative copies; recovery is reported both measured (host
+    # seconds lost to failed attempts and backoff) and modelled (lineage
+    # recomputation + fetch re-reads charged to the simulated clocks)
+    task_attempts: int = 0
+    task_retries: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    fault_events: int = 0
+    recovery_seconds: float = 0.0
+    recovery_time_model: float = 0.0
+    #: Backend that finished the join when execution degraded down the
+    #: fallback chain (empty when the requested backend stayed healthy).
+    fallback_backend: str = ""
+
     # extra per-experiment annotations (e.g. dedup cost, marking stats)
     extra: dict[str, float] = field(default_factory=dict)
 

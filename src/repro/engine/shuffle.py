@@ -26,6 +26,11 @@ class ShuffleStats:
     bytes: int = 0
     remote_records: int = 0
     remote_bytes: int = 0
+    #: Records/bytes read *again* after a failed shuffle fetch (fault
+    #: recovery); kept apart from the regular volumes so the paper's
+    #: remote-read figures stay comparable under fault injection.
+    refetch_records: int = 0
+    refetch_bytes: int = 0
 
     def add_transfers(
         self,
@@ -49,8 +54,15 @@ class ShuffleStats:
             self.remote_records += 1
             self.remote_bytes += record_bytes
 
+    def add_refetch(self, records: int, record_bytes: int) -> None:
+        """Account one worker's full re-read after a failed fetch."""
+        self.refetch_records += records
+        self.refetch_bytes += record_bytes
+
     def merge(self, other: "ShuffleStats") -> None:
         self.records += other.records
         self.bytes += other.bytes
         self.remote_records += other.remote_records
         self.remote_bytes += other.remote_bytes
+        self.refetch_records += other.refetch_records
+        self.refetch_bytes += other.refetch_bytes

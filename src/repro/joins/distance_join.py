@@ -38,7 +38,13 @@ from repro.agreements.policies import (
 from repro.data.pointset import PointSet
 from repro.data.sampling import bernoulli_sample
 from repro.engine.cluster import SimCluster
-from repro.engine.executor import BACKENDS, build_execution_plan, execute_plan
+from repro.engine.executor import (
+    BACKENDS,
+    RetryPolicy,
+    build_execution_plan,
+    execute_plan,
+)
+from repro.engine.faults import FaultPlan, ShuffleFetchError
 from repro.engine.lpt import lpt_assignment
 from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
 from repro.engine.partitioner import ExplicitPartitioner, HashPartitioner
@@ -109,6 +115,22 @@ class JoinConfig:
     #: OS-level worker cap for the parallel backends (``None``: one per
     #: host CPU, at most one per simulated worker).
     executor_workers: int | None = None
+    #: Deterministic fault injection (a :class:`FaultPlan` or a spec
+    #: string in the ``--faults`` grammar; ``None`` disables injection).
+    faults: FaultPlan | str | None = None
+    #: Per-task retry budget for failed local-join tasks and shuffle
+    #: fetches (see :class:`~repro.engine.executor.RetryPolicy`).
+    max_retries: int = 2
+    #: Straggler threshold (seconds) for speculative re-execution;
+    #: ``None`` disables straggler detection.
+    task_timeout: float | None = None
+    #: Launch speculative copies of detected stragglers.
+    speculative: bool = True
+    #: Fall back processes -> threads -> serial when a backend cannot
+    #: finish a task inside its retry budget.
+    degrade: bool = True
+    #: First retry's backoff in seconds (doubles per retry, capped).
+    retry_backoff: float = 0.01
 
     def resolved_partitions(self) -> int:
         return self.num_partitions or 8 * self.num_workers
@@ -212,6 +234,11 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     """Execute a parallel epsilon-distance join on the simulated cluster."""
     if cfg.eps <= 0:
         raise ValueError("eps must be positive")
+    fault_plan = (
+        FaultPlan.parse(cfg.faults) if isinstance(cfg.faults, str) else cfg.faults
+    )
+    if fault_plan is not None and not fault_plan:
+        fault_plan = None
     cm = cfg.cost_model
     cluster = SimCluster(cfg.num_workers, cm)
     num_partitions = cfg.resolved_partitions()
@@ -281,6 +308,11 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     per_side: dict[Side, dict[int, np.ndarray]] = {}
     cell_worker: dict[int, int] = {}
     worker_heap = np.zeros(cfg.num_workers)
+    # per-destination-worker shuffle-read totals, kept for fetch-failure
+    # recovery: a failed fetch re-reads the worker's whole input
+    read_cost_w = np.zeros(cfg.num_workers)
+    read_records_w = np.zeros(cfg.num_workers, dtype=np.int64)
+    read_bytes_w = np.zeros(cfg.num_workers, dtype=np.int64)
     for side, ps in ((Side.R, r), (Side.S, s)):
         cells, idxs = assigner.assign_batch(ps.xs, ps.ys, side)
         replicated = len(cells) - len(ps)
@@ -318,12 +350,13 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
         for w in range(cfg.num_workers):
             sel = dst_workers == w
             if sel.any():
-                cluster.add_cost(w, "shuffle_read", float(read_cost[sel].sum()))
-        worker_heap += (
-            np.bincount(dst_workers, minlength=cfg.num_workers)
-            * record
-            * cm.heap_expansion
-        )
+                cost = float(read_cost[sel].sum())
+                cluster.add_cost(w, "shuffle_read", cost)
+                read_cost_w[w] += cost
+        dst_counts = np.bincount(dst_workers, minlength=cfg.num_workers)
+        read_records_w += dst_counts
+        read_bytes_w += dst_counts * record
+        worker_heap += dst_counts * record * cm.heap_expansion
 
         groups = _group_slices(cells, idxs)
         per_side[side] = groups
@@ -335,6 +368,28 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     metrics.shuffle_bytes = shuffle.bytes
     metrics.remote_records = shuffle.remote_records
     metrics.remote_bytes = shuffle.remote_bytes
+
+    # ------------------------------------------------------------------
+    # injected shuffle-fetch failures: each failed fetch re-reads the
+    # worker's whole shuffle input (Spark's FetchFailedException retry);
+    # the data itself is intact, so only clocks and volumes move
+    # ------------------------------------------------------------------
+    fetch_retries = 0
+    if fault_plan is not None:
+        for w in range(cfg.num_workers):
+            if read_records_w[w] == 0:
+                continue
+            attempt = 0
+            while fault_plan.decide("fetch", w, attempt) is not None:
+                if attempt >= cfg.max_retries:
+                    raise ShuffleFetchError(w, attempt + 1)
+                cluster.add_cost(w, "fetch_retry", read_cost_w[w])
+                shuffle.add_refetch(int(read_records_w[w]), int(read_bytes_w[w]))
+                fetch_retries += 1
+                attempt += 1
+        metrics.extra["fetch_retries"] = float(fetch_retries)
+        metrics.extra["refetch_bytes"] = float(shuffle.refetch_bytes)
+
     metrics.extra["peak_worker_heap_bytes"] = float(worker_heap.max())
     if cfg.memory_limit_bytes is not None:
         hottest = int(worker_heap.argmax())
@@ -345,6 +400,9 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     metrics.construction_time_model = (
         cluster.phase_makespan("map")
         + cluster.phase_makespan("shuffle_read")
+        # failed fetches re-read their worker's shuffle input before the
+        # join can start, so they stretch the construction makespan
+        + cluster.phase_makespan("fetch_retry")
         # broadcast is a bulk (torrent-style) transfer, not a per-record
         # shuffle read: charge it at the bulk byte rate
         + bcast.time_model(cm.local_byte_cost)
@@ -389,6 +447,14 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
         cfg.eps,
         backend=cfg.execution_backend,
         max_workers=cfg.executor_workers,
+        faults=fault_plan,
+        retry=RetryPolicy(
+            max_retries=cfg.max_retries,
+            backoff_base=cfg.retry_backoff,
+            task_timeout=cfg.task_timeout,
+            speculative=cfg.speculative,
+            degrade=cfg.degrade,
+        ),
     )
     pair_counts = np.array([len(rid) for rid in report.pair_r], dtype=np.int64)
     result_count = int(pair_counts.sum())
@@ -402,6 +468,19 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     for worker_id, seconds in report.worker_wall.items():
         cluster.record_wall(worker_id, "join", seconds)
 
+    # recovery on the modelled clocks: every extra attempt of a task
+    # recomputes its group's lineage from the shuffled inputs, and every
+    # injected straggler delay stalls its worker for that long
+    join_loads = cluster.phase_loads("join")
+    for worker_id, attempts in report.task_attempts.items():
+        if attempts > 1:
+            cluster.add_cost(
+                worker_id, "recovery", (attempts - 1) * join_loads[worker_id]
+            )
+    for event in report.fault_events:
+        if event.kind == "straggler":
+            cluster.add_cost(event.worker, "recovery", event.seconds)
+
     if cfg.collect_pairs and result_count:
         r_ids = np.concatenate(report.pair_r)
         s_ids = np.concatenate(report.pair_s)
@@ -411,13 +490,27 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
         s_ids = np.empty(0, dtype=np.int64)
         src = np.empty(0, dtype=np.int64)
     metrics.candidate_pairs = int(report.candidates.sum())
-    metrics.join_time_model = cluster.phase_makespan("join")
+    metrics.join_time_model = cluster.phase_makespan("join", "recovery")
     metrics.worker_join_costs = cluster.phase_loads("join")
     metrics.execution_backend = cfg.execution_backend
     metrics.join_wall_makespan = report.wall_makespan
     metrics.worker_join_wall = cluster.phase_wall_loads("join")
     metrics.extra["join_wall_total"] = report.wall_total
     metrics.extra["executor_os_workers"] = float(report.os_workers)
+
+    # fault-tolerance accounting
+    metrics.task_attempts = report.attempts
+    metrics.task_retries = report.retries
+    metrics.speculative_launched = report.speculative_launched
+    metrics.speculative_wins = report.speculative_wins
+    metrics.recovery_seconds = report.recovery_seconds
+    metrics.recovery_time_model = cluster.recovery_time()
+    metrics.fault_events = len(report.fault_events) + fetch_retries
+    if report.degraded:
+        metrics.fallback_backend = report.backend_used
+        metrics.extra["degraded_steps"] = float(len(report.degraded))
+    if report.pool_rebuilds:
+        metrics.extra["pool_rebuilds"] = float(report.pool_rebuilds)
 
     # ------------------------------------------------------------------
     # optional deduplication step (the Table 6 variant)

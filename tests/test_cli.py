@@ -36,6 +36,39 @@ class TestJoin:
         with pytest.raises(SystemExit):
             main(["join", "--method", "bogus"])
 
+    def test_join_with_faults_reports_recovery(self, capsys):
+        rc = main(["join", "--base-n", "1500", "--eps", "0.02",
+                   "--method", "uni_r", "--backend", "threads",
+                   "--faults", "kill:p=1:times=1", "--max-retries", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "attempts=" in out
+        assert "retries=" in out
+        assert "speculative_wins=" in out
+
+
+class TestJoinValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--workers", "0"])
+
+    def test_negative_workers_rejected_on_predict(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "--workers", "-3"])
+
+    def test_zero_task_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--task-timeout", "0"])
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--max-retries", "-1"])
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["join", "--faults", "explode:p=1"])
+        assert "unknown fault kind" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_list(self, capsys):

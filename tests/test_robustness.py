@@ -154,6 +154,52 @@ class TestMemoryModel:
         )
 
 
+class TestFaultRecovery:
+    def test_zero_retry_budget_degrades_to_serial(self, small_clusters):
+        """With no retries the fault plan kills the processes and threads
+        attempts; the driver must walk the fallback chain down to serial
+        and still produce the oracle answer."""
+        r, s = small_clusters
+        truth = kdtree_pairs(list(r.iter_triples()), list(s.iter_triples()), 0.02)
+        cfg = JoinConfig(
+            eps=0.02, method="lpib", num_workers=3, executor_workers=2,
+            execution_backend="processes", faults="kill:p=1:times=2",
+            max_retries=0,
+        )
+        res = distance_join(r, s, cfg)
+        assert res.pairs_set() == truth
+        assert len(res) == len(truth)
+        assert res.metrics.fallback_backend == "serial"
+        assert res.metrics.extra["degraded_steps"] == 2  # threads, then serial
+
+    def test_degradation_disabled_raises(self, small_clusters):
+        from repro.engine.faults import RetryBudgetExhausted
+
+        r, s = small_clusters
+        cfg = JoinConfig(
+            eps=0.02, method="lpib", num_workers=3, executor_workers=2,
+            execution_backend="threads", faults="kernel:p=1:times=0",
+            max_retries=1, degrade=False,
+        )
+        with pytest.raises(RetryBudgetExhausted):
+            distance_join(r, s, cfg)
+
+    def test_faulted_metrics_stay_consistent(self, small_clusters):
+        """Recovery must not corrupt the accounting the validator checks
+        (shuffle totals, result counts, remote-byte bounds)."""
+        from repro.verify.invariants import validate_join_result
+
+        r, s = small_clusters
+        cfg = JoinConfig(
+            eps=0.02, method="uni_r", num_workers=3, executor_workers=2,
+            execution_backend="threads",
+            faults="kill:p=1:times=1,fetch:p=0.5", max_retries=3,
+        )
+        res = distance_join(r, s, cfg)
+        check = validate_join_result(res, r, s, 0.02)
+        assert check.ok, check.issues
+
+
 class TestFallbacks:
     def test_lpt_with_unsampled_cells_still_correct(self, small_clusters):
         """A 0.1% sample leaves most cells unseen; the partitioner must
