@@ -1,0 +1,163 @@
+"""Recovery-cost benchmark: block store on vs off under the same faults.
+
+Sweeps deterministic fault plans of increasing probability (``fetch`` and
+``kill`` faults at ``p = 0.1, 0.3, 0.5, 1.0``) and runs every plan twice:
+once with the legacy whole-partition recovery and once with the block
+store plus per-cell checkpoints (``spill=disk, checkpoint_cells=True``).
+Per rate it records both runs' modelled recovery makespan, refetched
+bytes/blocks, salvaged cells and measured walls, plus the ratio between
+them -- the number the subsystem exists to lower.  Every pair of runs
+must produce exactly as many results as the fault-free baseline.
+Results land in ``benchmarks/results/BENCH_recovery.json``.
+
+Run directly for the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_recovery_cost.py \
+        --n 60000 --workers 4 --backend threads
+"""
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_recovery.json"
+
+RATES = (0.1, 0.3, 0.5, 1.0)
+
+
+def make_inputs(n, seed_r=5, seed_s=6):
+    import numpy as np
+
+    from repro.data.pointset import PointSet
+
+    rng_r = np.random.default_rng(seed_r)
+    rng_s = np.random.default_rng(seed_s)
+    r = PointSet(rng_r.uniform(0, 1, n), rng_r.uniform(0, 1, n), name="R")
+    s = PointSet(rng_s.uniform(0, 1, n), rng_s.uniform(0, 1, n), name="S")
+    return r, s
+
+
+def run_once(r, s, eps, kernel, backend, workers, fault_spec, store):
+    from repro.joins.distance_join import JoinConfig, distance_join
+
+    overrides = {}
+    spill_dir = None
+    if store:
+        spill_dir = tempfile.mkdtemp(prefix="bench-recovery-")
+        overrides = dict(spill="disk", spill_dir=spill_dir,
+                         checkpoint_cells=True)
+    try:
+        cfg = JoinConfig(
+            eps=eps,
+            method="lpib",
+            num_workers=workers,
+            local_kernel=kernel,
+            execution_backend=backend,
+            executor_workers=workers,
+            faults=fault_spec,
+            max_retries=3,
+            **overrides,
+        )
+        t0 = time.perf_counter()
+        res = distance_join(r, s, cfg)
+        wall = time.perf_counter() - t0
+    finally:
+        if spill_dir is not None:
+            leftovers = os.listdir(spill_dir) if os.path.isdir(spill_dir) else []
+            if leftovers:
+                raise AssertionError(f"spill dir leaked files: {leftovers}")
+            if os.path.isdir(spill_dir):
+                os.rmdir(spill_dir)
+    m = res.metrics
+    return {
+        "store": store,
+        "wall_seconds": round(wall, 4),
+        "recovery_seconds": round(m.recovery_seconds, 4),
+        "recovery_time_model": round(m.recovery_time_model, 6),
+        "refetch_bytes": m.extra.get("refetch_bytes", 0.0),
+        "fetch_retries": m.extra.get("fetch_retries", 0.0),
+        "blocks_spilled": m.blocks_spilled,
+        "blocks_refetched": m.blocks_refetched,
+        "cells_salvaged": m.cells_salvaged,
+        "salvaged_seconds": round(m.salvaged_seconds, 4),
+        "salvaged_time_model": round(m.salvaged_time_model, 6),
+        "task_retries": m.task_retries,
+        "results": m.results,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=60_000, help="points per side")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--eps", type=float, default=0.009)
+    ap.add_argument("--kernel", default="grid_hash")
+    ap.add_argument("--backend", default="threads",
+                    choices=("serial", "threads", "processes"))
+    ap.add_argument("--rates", nargs="*", type=float, default=list(RATES),
+                    help="injected failure probabilities to sweep")
+    ap.add_argument("--out", default=str(RESULTS))
+    args = ap.parse_args(argv)
+
+    r, s = make_inputs(args.n)
+    baseline = run_once(r, s, args.eps, args.kernel, args.backend,
+                        args.workers, None, store=False)
+    print(f"fault-free baseline: {baseline['results']:,} results, "
+          f"wall {baseline['wall_seconds']:.2f}s")
+
+    rows = []
+    for rate in args.rates:
+        spec = f"fetch:p={rate:g}:times=1,kill:p={rate:g}:times=1"
+        pair = {"fault_rate": rate, "fault_spec": spec}
+        for store in (False, True):
+            row = run_once(r, s, args.eps, args.kernel, args.backend,
+                           args.workers, spec, store)
+            if row["results"] != baseline["results"]:
+                raise AssertionError(
+                    f"recovery changed the answer at p={rate} "
+                    f"(store={store}): {row['results']} vs "
+                    f"{baseline['results']} results"
+                )
+            pair["with_store" if store else "no_store"] = row
+        no, yes = pair["no_store"], pair["with_store"]
+        if no["recovery_time_model"] > 0:
+            pair["model_recovery_ratio"] = round(
+                yes["recovery_time_model"] / no["recovery_time_model"], 4
+            )
+        if no["refetch_bytes"] > 0:
+            pair["refetch_bytes_ratio"] = round(
+                yes["refetch_bytes"] / no["refetch_bytes"], 4
+            )
+        rows.append(pair)
+        print(
+            f"p={rate:>4}: modelled recovery "
+            f"{no['recovery_time_model']:.4f}s -> "
+            f"{yes['recovery_time_model']:.4f}s "
+            f"(x{pair.get('model_recovery_ratio', float('nan')):.3f}), "
+            f"refetch {no['refetch_bytes'] / 1e6:.2f}MB -> "
+            f"{yes['refetch_bytes'] / 1e6:.2f}MB, "
+            f"salvaged {yes['cells_salvaged']} cells"
+        )
+
+    payload = {
+        "description": "block-level vs whole-partition recovery cost",
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "n": args.n, "eps": args.eps, "kernel": args.kernel,
+            "backend": args.backend, "sim_workers": args.workers,
+        },
+        "baseline": baseline,
+        "runs": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ import sys
 from repro.bench.harness import BenchScale
 from repro.data.datasets import DEFAULT_BASE_N, load_dataset
 from repro.data.io import read_points_text, write_points_text
+from repro.engine.blockstore import SPILL_TIERS
 from repro.engine.executor import BACKENDS
 from repro.engine.faults import FaultPlan
 from repro.joins.api import ALL_METHODS, spatial_join
@@ -79,14 +80,25 @@ def _load_input(spec: str, base_n: int, payload: int):
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
+    if args.spill == "none":
+        if args.spill_dir is not None:
+            print("--spill-dir requires --spill memory|disk", file=sys.stderr)
+            return 2
+        if args.checkpoint_cells:
+            print("--checkpoint-cells requires --spill memory|disk", file=sys.stderr)
+            return 2
+    if args.spill != "none" and args.method not in GRID_METHODS:
+        print(f"--spill applies to grid methods only ({', '.join(GRID_METHODS)})",
+              file=sys.stderr)
+        return 2
     r = _load_input(args.r, args.base_n, args.payload)
     s = _load_input(args.s, args.base_n, args.payload)
     options = {}
     if args.method not in ("naive",):
         options["num_workers"] = args.workers
     if args.method in GRID_METHODS:
-        # execution backend, kernel choice and fault tolerance exist only
-        # on the grid driver
+        # execution backend, kernel choice, fault tolerance and the block
+        # store exist only on the grid driver
         options["execution_backend"] = args.backend
         options["local_kernel"] = args.kernel
         options["max_retries"] = args.max_retries
@@ -94,6 +106,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
             options["task_timeout"] = args.task_timeout
         if args.faults is not None:
             options["faults"] = args.faults.with_seed(args.fault_seed)
+        if args.spill != "none":
+            options["spill"] = args.spill
+            options["spill_dir"] = args.spill_dir
+            options["checkpoint_cells"] = args.checkpoint_cells
     result = spatial_join(r, s, eps=args.eps, method=args.method, **options)
     m = result.metrics
     print(f"inputs: {len(r):,} x {len(s):,} points, eps={args.eps}, "
@@ -116,6 +132,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
             )
             if m.fallback_backend:
                 print(f"  backend degraded to {m.fallback_backend!r}")
+        if args.spill != "none":
+            print(
+                f"block store [{args.spill}]: spilled={m.blocks_spilled} "
+                f"refetched={m.blocks_refetched} "
+                f"salvaged_cells={m.cells_salvaged} "
+                f"(saved {m.salvaged_time_model:.2f}s modelled)"
+            )
     if args.show_pairs:
         for rid, sid in sorted(result.pairs_set())[: args.show_pairs]:
             print(f"  ({rid}, {sid})")
@@ -231,6 +254,17 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="straggler threshold: tasks running longer get a "
                            "speculative copy")
+    join.add_argument("--spill", choices=SPILL_TIERS, default="none",
+                      help="spill shuffle output as addressable blocks so "
+                           "fetch faults re-pull only the missing blocks "
+                           "(see docs/STORAGE.md; grid methods only)")
+    join.add_argument("--spill-dir", default=None, metavar="DIR",
+                      help="directory for spilled blocks and checkpoints "
+                           "(requires --spill; default: a temp directory)")
+    join.add_argument("--checkpoint-cells", action="store_true",
+                      help="snapshot per-cell partial results so killed "
+                           "task attempts salvage finished cells "
+                           "(requires --spill)")
     join.add_argument("--base-n", type=int, default=DEFAULT_BASE_N,
                       help="cardinality for generated datasets")
     join.add_argument("--payload", type=int, default=0, help="payload bytes per tuple")

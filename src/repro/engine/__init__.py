@@ -8,6 +8,15 @@ LPT), and a per-worker cost model that yields a makespan -- the modelled
 execution time used by the benchmark figures.
 """
 
+from repro.engine.blockstore import (
+    SPILL_TIERS,
+    BlockId,
+    BlockMeta,
+    BlockStore,
+    CellCheckpoint,
+    CheckpointManager,
+    SpillConfig,
+)
 from repro.engine.cluster import SimCluster, Worker
 from repro.engine.executor import (
     BACKENDS,
@@ -39,6 +48,11 @@ from repro.engine.rdd import SimPairRDD, SimRDD
 
 __all__ = [
     "BACKENDS",
+    "BlockId",
+    "BlockMeta",
+    "BlockStore",
+    "CellCheckpoint",
+    "CheckpointManager",
     "CostModel",
     "ExecutionPlan",
     "ExecutionReport",
@@ -55,8 +69,10 @@ __all__ = [
     "PhaseTimer",
     "RetryBudgetExhausted",
     "RetryPolicy",
+    "SPILL_TIERS",
     "ShuffleFetchError",
     "ShuffleStats",
+    "SpillConfig",
     "SimCluster",
     "SimPairRDD",
     "SimRDD",

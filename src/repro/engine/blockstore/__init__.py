@@ -1,0 +1,37 @@
+"""Block store subsystem: shuffle spill, checkpointing, fine-grained recovery.
+
+The paper's Spark realization materializes map outputs on the executors'
+local disks, so a reducer that loses a fetch re-requests only the missing
+blocks -- it never re-reads whole source partitions.  This package gives
+the reproduction the same storage substrate:
+
+* :class:`~repro.engine.blockstore.store.BlockStore` spills map-side
+  shuffle output as addressable blocks, one per *(side, source partition,
+  target cell-group)*, with exact byte accounting and a configurable
+  in-memory / on-disk tier plus LRU eviction;
+* :class:`~repro.engine.blockstore.checkpoint.CheckpointManager`
+  snapshots per-cell partial join results as reduce tasks complete them,
+  so a killed or timed-out attempt salvages finished cells and re-runs
+  only the remainder.
+
+See ``docs/STORAGE.md`` for the block layout and the recovery flow.
+"""
+
+from repro.engine.blockstore.checkpoint import CellCheckpoint, CheckpointManager
+from repro.engine.blockstore.store import (
+    SPILL_TIERS,
+    BlockId,
+    BlockMeta,
+    BlockStore,
+    SpillConfig,
+)
+
+__all__ = [
+    "SPILL_TIERS",
+    "BlockId",
+    "BlockMeta",
+    "BlockStore",
+    "CellCheckpoint",
+    "CheckpointManager",
+    "SpillConfig",
+]

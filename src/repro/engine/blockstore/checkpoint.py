@@ -1,0 +1,203 @@
+"""Per-cell checkpointing of partial reduce-side join results.
+
+A reduce task runs a *group* of cells.  Without checkpoints, a killed or
+timed-out attempt forfeits everything the attempt had already computed;
+with a :class:`CheckpointManager` every finished cell's result is
+snapshotted the moment the kernel returns it, so the next attempt
+*salvages* those cells and re-runs only the remainder.
+
+Checkpoints record the kernel's exact output arrays (plus the measured
+kernel seconds the cell cost), so a salvaged cell is bit-identical to a
+recomputed one and the executor can report how many measured seconds the
+salvage preserved.
+
+Tiers mirror the block store:
+
+``memory``
+    Checkpoints live in a dict.  They survive retries on the ``serial``
+    and ``threads`` backends (same process) but **not** a killed process
+    pool worker -- exactly like Spark partials kept on an executor heap.
+    When a memory-tier manager is pickled toward a pool worker it
+    *detaches*: the child's saves are dropped (they could never reach the
+    parent) and its loads miss.
+``disk``
+    One ``.npz`` file per cell, written atomically (temp file +
+    ``os.replace``), readable across process boundaries -- this is the
+    tier that makes salvage work under real worker kills.
+
+The manager owns its files: :meth:`CheckpointManager.close` removes them
+(and the checkpoint directory when the manager created it).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CellCheckpoint:
+    """One cell's snapshotted kernel output."""
+
+    rid: np.ndarray
+    sid: np.ndarray
+    candidates: int
+    #: Measured kernel seconds the cell cost when first computed --
+    #: the seconds a salvage preserves.
+    seconds: float
+
+
+class CheckpointManager:
+    """Snapshot and recover per-cell partial join results."""
+
+    def __init__(self, tier: str = "memory", directory: str | None = None):
+        if tier not in ("memory", "disk"):
+            raise ValueError(
+                f"CheckpointManager tier must be 'memory' or 'disk', got {tier!r}"
+            )
+        self.tier = tier
+        self._user_dir = directory
+        self._dir: str | None = None
+        self._owns_dir = False
+        self._mem: dict[int, CellCheckpoint] = {}
+        self._detached = False
+        self._closed = False
+        #: Only the creating process may delete files: forked or pickled
+        #: copies inside pool workers must never clean up under the parent.
+        self._pid = os.getpid()
+        self.cells_saved = 0
+        self.bytes_saved = 0
+        if tier == "disk":
+            # eager: pool workers must share this directory, not invent one
+            self._directory()
+
+    # ------------------------------------------------------------------
+    def _directory(self) -> str:
+        if self._dir is None:
+            if self._user_dir is not None:
+                if not os.path.isdir(self._user_dir):
+                    # we created it, so close() may remove it
+                    os.makedirs(self._user_dir, exist_ok=True)
+                    self._owns_dir = True
+                self._dir = self._user_dir
+            else:
+                self._dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+                self._owns_dir = True
+        return self._dir
+
+    def _path(self, pos: int) -> str:
+        return os.path.join(self._directory(), f"cell_{pos:08d}.npz")
+
+    # ------------------------------------------------------------------
+    def save(
+        self, pos: int, rid: np.ndarray, sid: np.ndarray, candidates: int,
+        seconds: float,
+    ) -> None:
+        """Checkpoint one completed cell (idempotent; last writer wins)."""
+        if self._detached or self._closed:
+            return
+        rid = np.ascontiguousarray(rid, dtype=np.int64)
+        sid = np.ascontiguousarray(sid, dtype=np.int64)
+        if self.tier == "memory":
+            self._mem[pos] = CellCheckpoint(rid, sid, int(candidates), seconds)
+        else:
+            directory = self._directory()
+            path = self._path(pos)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(
+                        handle,
+                        rid=rid,
+                        sid=sid,
+                        candidates=np.int64(candidates),
+                        seconds=np.float64(seconds),
+                    )
+                os.replace(tmp, path)
+            except BaseException:  # pragma: no cover - defensive
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        self.cells_saved += 1
+        self.bytes_saved += int(rid.nbytes + sid.nbytes)
+
+    def load(self, pos: int) -> CellCheckpoint | None:
+        """The checkpoint for one plan position, or ``None``."""
+        if self._detached or self._closed:
+            return None
+        if self.tier == "memory":
+            return self._mem.get(pos)
+        path = self._path(pos)
+        if not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as payload:
+                return CellCheckpoint(
+                    np.asarray(payload["rid"], dtype=np.int64),
+                    np.asarray(payload["sid"], dtype=np.int64),
+                    int(payload["candidates"]),
+                    float(payload["seconds"]),
+                )
+        except (OSError, ValueError, KeyError):  # pragma: no cover
+            return None  # half-written file from a kill mid-write
+
+    def __len__(self) -> int:
+        if self.tier == "memory":
+            return len(self._mem)
+        if self._dir is None:
+            return 0
+        return sum(
+            1 for name in os.listdir(self._dir)
+            if name.startswith("cell_") and name.endswith(".npz")
+        )
+
+    # ------------------------------------------------------------------
+    # pickling: memory checkpoints cannot cross a process boundary
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        if self.tier == "memory":
+            state["_mem"] = {}
+            state["_detached"] = True
+        return state
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Discard every checkpoint and remove owned files (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._mem.clear()
+        if os.getpid() != self._pid:
+            return  # a worker-process copy: the owner cleans up
+        if self._dir is not None and os.path.isdir(self._dir):
+            if self._owns_dir:
+                shutil.rmtree(self._dir, ignore_errors=True)
+            else:
+                for name in os.listdir(self._dir):
+                    if (
+                        (name.startswith("cell_") and name.endswith(".npz"))
+                        or name.endswith(".tmp")
+                    ):
+                        try:
+                            os.unlink(os.path.join(self._dir, name))
+                        except OSError:  # pragma: no cover - defensive
+                            pass
+        self._dir = None
+
+    def __enter__(self) -> "CheckpointManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            if not self._detached:
+                self.close()
+        except Exception:
+            pass

@@ -15,9 +15,16 @@ from dataclasses import dataclass, field
 from repro.engine.metrics import CostModel
 
 #: Phases that only exist when fault recovery ran: re-executed join
-#: lineage and injected straggler delays land in ``recovery``; shuffle
-#: re-reads after a failed fetch land in ``fetch_retry``.
-RECOVERY_PHASES = ("recovery", "fetch_retry")
+#: lineage and injected straggler delays land in ``recovery``; full
+#: shuffle re-reads after a failed fetch land in ``fetch_retry``; with
+#: the block store enabled a failed fetch instead pulls only the missing
+#: spilled blocks, charged to ``block_refetch``.
+RECOVERY_PHASES = ("recovery", "fetch_retry", "block_refetch")
+
+#: Informational phase holding the modelled seconds fine-grained recovery
+#: *saved* (checkpoint salvage); excluded from :data:`RECOVERY_PHASES`
+#: because savings are not work.
+SALVAGE_PHASE = "salvaged"
 
 
 @dataclass
@@ -103,6 +110,14 @@ class SimCluster:
         one on an idle worker, exactly like a Spark stage retry.
         """
         return self.phase_makespan(*RECOVERY_PHASES)
+
+    def salvaged_time(self) -> float:
+        """Total modelled seconds checkpoint salvage saved (0 without it).
+
+        Reported as a *sum* over workers, not a makespan: every salvaged
+        cell is recompute work that never had to be scheduled anywhere.
+        """
+        return sum(w.total((SALVAGE_PHASE,)) for w in self.workers)
 
     def reset(self) -> None:
         for w in self.workers:

@@ -37,9 +37,19 @@ a kernel exception):
   degrades ``processes`` -> ``threads`` -> ``serial`` before giving up
   with :class:`~repro.engine.faults.RetryBudgetExhausted`.
 
+Recovery is *fine-grained* when a
+:class:`~repro.engine.blockstore.CheckpointManager` is supplied: every
+cell's kernel output is checkpointed the moment it completes, injected
+kill/kernel faults fire mid-task (after half the attempt's cells) instead
+of up front, and each re-submission first **salvages** checkpointed cells
+-- absorbing their snapshotted results -- and re-runs only the remainder.
+The report tracks, per plan position, how often it was re-submitted
+(lineage recompute, charged to the modelled clocks) and how often a
+checkpoint spared it (recovery savings on both clocks).
+
 Recovery never changes the answer: results are stitched by plan
-position regardless of which attempt produced them, so a faulted run is
-bit-identical to a fault-free one.
+position regardless of which attempt produced them -- recomputed or
+salvaged -- so a faulted run is bit-identical to a fault-free one.
 """
 
 from __future__ import annotations
@@ -183,6 +193,21 @@ class ExecutionReport:
     #: charging on the modelled clocks.
     task_attempts: dict[int, int] = field(default_factory=dict)
 
+    # ------------------------------------------------------------------
+    # fine-grained recovery (checkpoint salvage; see repro.engine.blockstore)
+    # ------------------------------------------------------------------
+    #: Cells absorbed from checkpoints instead of being recomputed.
+    cells_salvaged: int = 0
+    #: Measured kernel seconds the salvaged cells originally cost -- the
+    #: wall-clock work recovery did *not* redo.
+    salvaged_wall_seconds: float = 0.0
+    #: Per plan position: times the position was re-submitted for
+    #: recomputation (lineage recompute on the modelled clocks).
+    resubmit_counts: np.ndarray = field(default_factory=lambda: _EMPTY.copy())
+    #: Per plan position: times a re-submission skipped the position
+    #: because a checkpoint covered it (modelled recovery savings).
+    salvage_counts: np.ndarray = field(default_factory=lambda: _EMPTY.copy())
+
     @property
     def wall_makespan(self) -> float:
         """Slowest worker group -- the measured analogue of the modelled
@@ -241,21 +266,46 @@ def build_execution_plan(
 # ----------------------------------------------------------------------
 # kernel invocation shared by every backend
 # ----------------------------------------------------------------------
-def _run_group(plan: ExecutionPlan, positions: np.ndarray, kernel_name: str, eps: float):
-    """Run one worker group's cells; return per-position results + seconds."""
+def _fault_midpoint(n: int) -> int:
+    """Cells an attempt completes before a mid-task injected fault fires.
+
+    Deterministic (backend-independent) so faulted runs stay bit-exact:
+    the fault fires after ``ceil(n / 2)`` cells, so even a one-cell group
+    checkpoints its cell before dying and the retry salvages everything.
+    """
+    return (n + 1) // 2
+
+
+def _run_cells(
+    plan: ExecutionPlan,
+    positions: np.ndarray,
+    kernel_name: str,
+    eps: float,
+    checkpoints=None,
+    fault_at: int | None = None,
+    fire=None,
+):
+    """Run cells in order, checkpointing each result as it completes.
+
+    ``fire`` is this attempt's injected fault (if any); it triggers once
+    ``fault_at`` cells have completed, so with checkpointing enabled a
+    failing attempt still persists the cells it finished first.
+    """
     from repro.joins.local import LOCAL_KERNELS  # deferred: import cycle
 
     kernel = LOCAL_KERNELS[kernel_name]
     ro, so = plan.r_offsets, plan.s_offsets
     results = []
-    start = time.perf_counter()
-    for pos in positions:
+    for i, pos in enumerate(positions):
+        if fire is not None and i == fault_at:
+            fire()
         p = int(pos)
         r_lo, r_hi = ro[p], ro[p + 1]
         s_lo, s_hi = so[p], so[p + 1]
         origin = None
         if plan.origins is not None:
             origin = (plan.origins[p, 0], plan.origins[p, 1])
+        cell_start = time.perf_counter() if checkpoints is not None else 0.0
         rid, sid, cand = kernel(
             plan.r_ids[r_lo:r_hi],
             plan.r_xs[r_lo:r_hi],
@@ -267,10 +317,16 @@ def _run_group(plan: ExecutionPlan, positions: np.ndarray, kernel_name: str, eps
             origin=origin,
         )
         results.append((p, rid, sid, int(cand)))
-    return results, time.perf_counter() - start
+        if checkpoints is not None:
+            checkpoints.save(
+                p, rid, sid, int(cand), time.perf_counter() - cell_start
+            )
+    if fire is not None and fault_at is not None and fault_at >= len(positions):
+        fire()
+    return results
 
 
-def _inject_then_run(
+def _attempt_run(
     plan: ExecutionPlan,
     positions: np.ndarray,
     kernel_name: str,
@@ -278,23 +334,41 @@ def _inject_then_run(
     worker_id: int,
     attempt: int,
     faults: FaultPlan | None,
+    checkpoints,
+    on_kill,
 ):
-    """Apply straggler/kernel faults for this attempt, then run the group.
+    """One task attempt: decide this attempt's injected faults, then run.
+
+    Without checkpointing, faults fire before any cell runs (a lost
+    worker loses everything -- the legacy behaviour).  With checkpointing,
+    the fault fires after half the attempt's cells completed; those cells
+    are already checkpointed, so the next attempt salvages them.
 
     The straggler sleep counts into the returned elapsed seconds: a slow
     node's task *is* slow, and the measured makespan should show it.
     """
+    fire = None
+    if faults is not None and faults.decide("kill", worker_id, attempt) is not None:
+        fire = on_kill
+        if checkpoints is None:
+            fire()
     start = time.perf_counter()
     if faults is not None:
         delay = faults.straggler_delay(worker_id, attempt)
         if delay > 0:
             time.sleep(delay)
-        if faults.decide("kernel", worker_id, attempt) is not None:
-            raise InjectedKernelError(
-                f"injected kernel failure in worker {worker_id} "
-                f"(attempt {attempt})"
-            )
-    results, _ = _run_group(plan, positions, kernel_name, eps)
+        if fire is None and faults.decide("kernel", worker_id, attempt) is not None:
+            def fire():
+                raise InjectedKernelError(
+                    f"injected kernel failure in worker {worker_id} "
+                    f"(attempt {attempt})"
+                )
+    fault_at = None
+    if fire is not None:
+        fault_at = _fault_midpoint(len(positions)) if checkpoints is not None else 0
+    results = _run_cells(
+        plan, positions, kernel_name, eps, checkpoints, fault_at, fire
+    )
     return results, time.perf_counter() - start
 
 
@@ -306,14 +380,17 @@ def _run_group_guarded(
     worker_id: int,
     attempt: int,
     faults: FaultPlan | None,
+    checkpoints=None,
 ):
     """One task attempt on the serial/threads backends (kill = raise)."""
-    if faults is not None and faults.decide("kill", worker_id, attempt) is not None:
+    def on_kill():
         raise InjectedWorkerKill(
             f"worker {worker_id} killed (attempt {attempt})"
         )
-    results, elapsed = _inject_then_run(
-        plan, positions, kernel_name, eps, worker_id, attempt, faults
+
+    results, elapsed = _attempt_run(
+        plan, positions, kernel_name, eps, worker_id, attempt, faults,
+        checkpoints, on_kill,
     )
     return worker_id, results, elapsed
 
@@ -363,10 +440,17 @@ def _process_group(args) -> tuple[int, list, float]:
         origins,
         attempt,
         faults,
+        checkpoints,
     ) = args
-    if faults is not None and faults.decide("kill", worker_id, attempt) is not None:
+    if (
+        checkpoints is None
+        and faults is not None
+        and faults.decide("kill", worker_id, attempt) is not None
+    ):
         # a real executor loss: take the process down (breaking the pool),
-        # don't raise a catchable exception
+        # don't raise a catchable exception; with checkpointing enabled
+        # the kill instead fires mid-task inside _attempt_run, after the
+        # finished cells were persisted
         os._exit(13)
     shm_r, r_ids, r_xs, r_ys = _attach_side(r_name, n_r)
     try:
@@ -381,8 +465,9 @@ def _process_group(args) -> tuple[int, list, float]:
             s_ids, s_xs, s_ys, s_offsets,
             origins=origins,
         )
-        results, elapsed = _inject_then_run(
-            plan, positions, kernel_name, eps, worker_id, attempt, faults
+        results, elapsed = _attempt_run(
+            plan, positions, kernel_name, eps, worker_id, attempt, faults,
+            checkpoints, on_kill=lambda: os._exit(13),
         )
         # force copies: the kernel outputs never alias the shared blocks
         # today (fancy indexing copies), but the blocks die with the task
@@ -418,6 +503,10 @@ class _FTState:
         self._next: dict[int, int] = defaultdict(int)
         self.total_attempts = 0
         self.last_error: BaseException | None = None
+        #: Tasks that have been submitted at least once (across tiers):
+        #: any later submission is a *re*-submission for the recovery
+        #: accounting (lineage recompute vs checkpoint salvage).
+        self.submitted: set[int] = set()
 
     def next_attempt(self, worker_id: int) -> int:
         """The task's next global attempt number (monotonic across tiers)."""
@@ -462,18 +551,27 @@ class _Flight:
     speculated: bool = False
 
 
-def _serial_tier(plan, tasks, kernel_name, eps, faults, policy, state, report, absorb):
+def _serial_tier(
+    plan, tasks, kernel_name, eps, faults, policy, state, report, absorb,
+    prepare, checkpoints,
+):
     """Run tasks in-process with per-task retries; return unrecoverable."""
     exhausted: dict[int, np.ndarray] = {}
     for worker_id, positions in tasks.items():
         failures = 0
         while True:
+            run_positions = prepare(worker_id, positions)
+            if len(run_positions) == 0:
+                # every remaining cell was salvaged from checkpoints
+                report.worker_wall.setdefault(worker_id, 0.0)
+                break
             attempt = state.next_attempt(worker_id)
             state.note(worker_id, attempt, "serial")
             start = time.perf_counter()
             try:
                 _, results, elapsed = _run_group_guarded(
-                    plan, positions, kernel_name, eps, worker_id, attempt, faults
+                    plan, run_positions, kernel_name, eps, worker_id, attempt,
+                    faults, checkpoints,
                 )
             except Exception as exc:
                 report.recovery_seconds += time.perf_counter() - start
@@ -494,7 +592,7 @@ def _serial_tier(plan, tasks, kernel_name, eps, faults, policy, state, report, a
 
 def _pool_tier(
     backend, plan, tasks, kernel_name, eps, faults, policy, state, report,
-    absorb, os_workers,
+    absorb, os_workers, prepare, checkpoints,
 ):
     """Run tasks on a thread or process pool; return unrecoverable tasks.
 
@@ -532,14 +630,21 @@ def _pool_tier(
             shm_s = _side_to_shm(plan.s_ids, plan.s_xs, plan.s_ys)
         pool = make_pool()
 
-        def submit(worker_id: int, speculative: bool = False) -> None:
+        def submit(worker_id: int, speculative: bool = False) -> bool:
+            """Launch one attempt; False when salvage completed the task."""
+            positions = prepare(worker_id, tasks[worker_id])
+            if len(positions) == 0:
+                # every remaining cell was salvaged from checkpoints
+                completed.add(worker_id)
+                queued.pop(worker_id, None)
+                report.worker_wall.setdefault(worker_id, 0.0)
+                return False
             attempt = state.next_attempt(worker_id)
             state.note(worker_id, attempt, backend)
-            positions = tasks[worker_id]
             if backend == "threads":
                 fut = pool.submit(
                     _run_group_guarded, plan, positions, kernel_name, eps,
-                    worker_id, attempt, faults,
+                    worker_id, attempt, faults, checkpoints,
                 )
             else:
                 fut = pool.submit(
@@ -550,12 +655,13 @@ def _pool_tier(
                         shm_s.name, len(plan.s_ids),
                         plan.r_offsets, plan.s_offsets,
                         plan.cells, plan.workers, plan.origins,
-                        attempt, faults,
+                        attempt, faults, checkpoints,
                     ),
                 )
             pending[fut] = _Flight(
                 worker_id, attempt, time.perf_counter(), speculative
             )
+            return True
 
         def inflight(worker_id: int) -> int:
             return sum(1 for fl in pending.values() if fl.worker_id == worker_id)
@@ -647,8 +753,8 @@ def _pool_tier(
                         and inflight(flight.worker_id) == 1
                     ):
                         flight.speculated = True
-                        report.speculative_launched += 1
-                        submit(flight.worker_id, speculative=True)
+                        if submit(flight.worker_id, speculative=True):
+                            report.speculative_launched += 1
     finally:
         if pool is not None:
             pool.shutdown(wait=True)
@@ -670,6 +776,7 @@ def execute_plan(
     max_workers: int | None = None,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    checkpoints=None,
 ) -> ExecutionReport:
     """Run every cell's local join on the chosen backend, fault tolerantly.
 
@@ -680,7 +787,10 @@ def execute_plan(
 
     ``faults`` injects deterministic failures (see
     :mod:`repro.engine.faults`); ``retry`` configures recovery (default
-    :class:`RetryPolicy`).  Raises
+    :class:`RetryPolicy`).  ``checkpoints`` (a
+    :class:`~repro.engine.blockstore.CheckpointManager`) enables
+    fine-grained recovery: finished cells are snapshotted and a retried
+    task salvages them instead of recomputing its whole group.  Raises
     :class:`~repro.engine.faults.RetryBudgetExhausted` when a task cannot
     be completed on any backend in the fallback chain.
     """
@@ -695,10 +805,13 @@ def execute_plan(
     report.pair_r = [_EMPTY] * n
     report.pair_s = [_EMPTY] * n
     report.candidates = np.zeros(n, dtype=np.int64)
+    report.resubmit_counts = np.zeros(n, dtype=np.int64)
+    report.salvage_counts = np.zeros(n, dtype=np.int64)
     if n == 0:
         return report
 
     state = _FTState(faults, report)
+    salvaged_done: set[int] = set()
 
     def absorb(worker_id: int, results, elapsed: float) -> None:
         report.worker_wall[worker_id] = elapsed
@@ -707,6 +820,41 @@ def execute_plan(
             report.pair_s[p] = sid
             report.candidates[p] = cand
 
+    def prepare(worker_id: int, positions: np.ndarray) -> np.ndarray:
+        """Salvage checkpointed cells; return the positions still to run.
+
+        Every submission after a task's first counts its surviving
+        positions as lineage recompute (``resubmit_counts``) and its
+        salvaged positions as recovery savings (``salvage_counts``) for
+        the modelled clocks.
+        """
+        resub = worker_id in state.submitted
+        state.submitted.add(worker_id)
+        if checkpoints is not None:
+            keep = []
+            for pos in positions:
+                p = int(pos)
+                if p in salvaged_done:
+                    if resub:
+                        report.salvage_counts[p] += 1
+                    continue
+                rec = checkpoints.load(p)
+                if rec is None:
+                    keep.append(p)
+                    continue
+                report.pair_r[p] = rec.rid
+                report.pair_s[p] = rec.sid
+                report.candidates[p] = rec.candidates
+                salvaged_done.add(p)
+                report.cells_salvaged += 1
+                report.salvaged_wall_seconds += rec.seconds
+                if resub:
+                    report.salvage_counts[p] += 1
+            positions = np.asarray(keep, dtype=np.int64)
+        if resub and len(positions):
+            report.resubmit_counts[positions] += 1
+        return positions
+
     remaining = dict(groups)
     tier = backend
     while remaining:
@@ -714,7 +862,7 @@ def execute_plan(
         if tier == "serial":
             remaining = _serial_tier(
                 plan, remaining, kernel_name, eps, faults, policy, state,
-                report, absorb,
+                report, absorb, prepare, checkpoints,
             )
         else:
             os_workers = max_workers or min(len(remaining), os.cpu_count() or 1)
@@ -723,7 +871,7 @@ def execute_plan(
                 report.os_workers = os_workers
             remaining = _pool_tier(
                 tier, plan, remaining, kernel_name, eps, faults, policy,
-                state, report, absorb, os_workers,
+                state, report, absorb, os_workers, prepare, checkpoints,
             )
         if not remaining:
             break

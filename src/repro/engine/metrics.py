@@ -127,6 +127,19 @@ class JoinMetrics:
     #: fallback chain (empty when the requested backend stayed healthy).
     fallback_backend: str = ""
 
+    # block store / checkpointing (see repro.engine.blockstore): shuffle
+    # output spilled as addressable blocks, fetch faults healed by
+    # re-pulling only the missing blocks, and killed reduce attempts
+    # salvaging already-checkpointed cells
+    blocks_spilled: int = 0
+    blocks_refetched: int = 0
+    cells_salvaged: int = 0
+    #: Measured kernel seconds the salvaged checkpoints preserved (work
+    #: recovery did not have to redo on the host clock).
+    salvaged_seconds: float = 0.0
+    #: Modelled seconds of lineage recompute the checkpoints avoided.
+    salvaged_time_model: float = 0.0
+
     # extra per-experiment annotations (e.g. dedup cost, marking stats)
     extra: dict[str, float] = field(default_factory=dict)
 

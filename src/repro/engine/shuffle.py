@@ -28,9 +28,13 @@ class ShuffleStats:
     remote_bytes: int = 0
     #: Records/bytes read *again* after a failed shuffle fetch (fault
     #: recovery); kept apart from the regular volumes so the paper's
-    #: remote-read figures stay comparable under fault injection.
+    #: remote-read figures stay comparable under fault injection.  With
+    #: the block store enabled these count only the missing blocks'
+    #: records (``refetch_blocks`` of them); without it, whole-partition
+    #: re-reads.
     refetch_records: int = 0
     refetch_bytes: int = 0
+    refetch_blocks: int = 0
 
     def add_transfers(
         self,
@@ -54,10 +58,15 @@ class ShuffleStats:
             self.remote_records += 1
             self.remote_bytes += record_bytes
 
-    def add_refetch(self, records: int, record_bytes: int) -> None:
-        """Account one worker's full re-read after a failed fetch."""
+    def add_refetch(self, records: int, total_bytes: int, blocks: int = 0) -> None:
+        """Account a re-read after a failed fetch.
+
+        ``blocks`` is the number of spilled blocks that served it (0 for
+        a legacy full-partition re-read).
+        """
         self.refetch_records += records
-        self.refetch_bytes += record_bytes
+        self.refetch_bytes += total_bytes
+        self.refetch_blocks += blocks
 
     def merge(self, other: "ShuffleStats") -> None:
         self.records += other.records
@@ -66,3 +75,4 @@ class ShuffleStats:
         self.remote_bytes += other.remote_bytes
         self.refetch_records += other.refetch_records
         self.refetch_bytes += other.refetch_bytes
+        self.refetch_blocks += other.refetch_blocks

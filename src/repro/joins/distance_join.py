@@ -24,6 +24,7 @@ The returned :class:`JoinResult` carries the result pairs and a
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -37,7 +38,13 @@ from repro.agreements.policies import (
 )
 from repro.data.pointset import PointSet
 from repro.data.sampling import bernoulli_sample
-from repro.engine.cluster import SimCluster
+from repro.engine.blockstore import (
+    BlockId,
+    BlockStore,
+    CheckpointManager,
+    SpillConfig,
+)
+from repro.engine.cluster import SALVAGE_PHASE, SimCluster
 from repro.engine.executor import (
     BACKENDS,
     RetryPolicy,
@@ -131,9 +138,34 @@ class JoinConfig:
     degrade: bool = True
     #: First retry's backoff in seconds (doubles per retry, capped).
     retry_backoff: float = 0.01
+    #: Shuffle-spill tier for the block store (see
+    #: :mod:`repro.engine.blockstore`): ``none`` keeps the legacy
+    #: behaviour (failed fetches re-read whole partitions), ``memory`` or
+    #: ``disk`` spill map outputs as addressable blocks so fetch-fault
+    #: recovery pulls only the missing blocks.
+    spill: str = "none"
+    #: Directory for spilled blocks and checkpoints (the ``disk`` tier,
+    #: or the ``memory`` tier's eviction target); a temporary directory
+    #: when ``None``.  Requires a spill tier.
+    spill_dir: str | None = None
+    #: Snapshot per-cell partial join results so a killed or timed-out
+    #: reduce attempt salvages finished cells and re-runs only the
+    #: remainder.  Requires a spill tier.
+    checkpoint_cells: bool = False
+    #: Memory-tier byte budget before LRU eviction (``None``: unbounded).
+    spill_memory_limit_bytes: int | None = None
 
     def resolved_partitions(self) -> int:
         return self.num_partitions or 8 * self.num_workers
+
+    def spill_config(self) -> SpillConfig:
+        """The validated block-store configuration for this job."""
+        return SpillConfig(
+            tier=self.spill,
+            spill_dir=self.spill_dir,
+            memory_limit_bytes=self.spill_memory_limit_bytes,
+            checkpoint_cells=self.checkpoint_cells,
+        )
 
 
 @dataclass
@@ -230,6 +262,89 @@ def _group_slices(cells: np.ndarray, point_idx: np.ndarray):
     }
 
 
+def _spill_side_blocks(
+    store: BlockStore,
+    side: str,
+    cells: np.ndarray,
+    idxs: np.ndarray,
+    src_workers: np.ndarray,
+    dst_workers: np.ndarray,
+    record_bytes: int,
+    num_workers: int,
+) -> None:
+    """Spill one side's map output, one block per shuffle edge.
+
+    Mirrors Spark's map-output files: each map executor writes one
+    addressable block per reduce destination, so a lost destination input
+    can later be healed per source instead of re-read wholesale.
+    """
+    if len(cells) == 0:
+        return
+    key = src_workers.astype(np.int64) * num_workers + dst_workers.astype(np.int64)
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    uniq, starts = np.unique(sorted_key, return_index=True)
+    bounds = np.append(starts, len(sorted_key))
+    for i, k in enumerate(uniq):
+        sel = order[bounds[i] : bounds[i + 1]]
+        src, dst = divmod(int(k), num_workers)
+        store.put(
+            BlockId(side, src, dst),
+            {
+                "cells": np.ascontiguousarray(cells[sel]),
+                "points": np.ascontiguousarray(idxs[sel]),
+            },
+            records=len(sel),
+            logical_bytes=len(sel) * record_bytes,
+        )
+
+
+def _refetch_blocks(
+    store: BlockStore,
+    cluster: SimCluster,
+    shuffle: ShuffleStats,
+    dst: int,
+    attempt: int,
+    cm: CostModel,
+) -> int:
+    """Heal one failed fetch from the block store.
+
+    A fetch failure loses the map output of a single source executor
+    (Spark's ``FetchFailedException`` names one ``BlockManagerId``); which
+    source is lost is a deterministic function of the attempt so every run
+    replays identically.  Only that source's blocks are re-pulled --
+    served from the spill store at the local read rate -- instead of the
+    destination's whole shuffle input.
+    """
+    sources = store.sources_for(dst)
+    if not sources:  # pragma: no cover - read_records_w guards this
+        return 0
+    lost_src = sources[attempt % len(sources)]
+    refetched = 0
+    records = 0
+    logical = 0
+    cost = 0.0
+    for side in ("R", "S"):
+        meta, arrays = store.fetch(BlockId(side, lost_src, dst))
+        if meta is None:
+            continue  # this side sent nothing along that shuffle edge
+        if arrays is not None:
+            # served from the spilled block: local re-read
+            cost += meta.bytes * cm.local_byte_cost
+        else:
+            # the block was evicted and dropped: regenerate its records
+            # from the source split at the remote rate -- still only this
+            # block's share, never the whole input
+            cost += meta.bytes * cm.remote_byte_cost
+        cost += meta.records * cm.reduce_record_cost
+        records += meta.records
+        logical += meta.bytes
+        refetched += 1
+    cluster.add_cost(dst, "block_refetch", cost)
+    shuffle.add_refetch(records, logical, blocks=refetched)
+    return refetched
+
+
 def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     """Execute a parallel epsilon-distance join on the simulated cluster."""
     if cfg.eps <= 0:
@@ -239,6 +354,40 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     )
     if fault_plan is not None and not fault_plan:
         fault_plan = None
+    spill_cfg = cfg.spill_config()
+    store: BlockStore | None = None
+    checkpoints: CheckpointManager | None = None
+    if spill_cfg.enabled:
+        store = BlockStore(
+            spill_cfg.tier, spill_cfg.spill_dir, spill_cfg.memory_limit_bytes
+        )
+        if spill_cfg.checkpoint_cells:
+            ckpt_dir = (
+                os.path.join(spill_cfg.spill_dir, "checkpoints")
+                if spill_cfg.spill_dir is not None
+                else None
+            )
+            checkpoints = CheckpointManager(spill_cfg.tier, ckpt_dir)
+    try:
+        return _distance_join(r, s, cfg, fault_plan, store, checkpoints)
+    finally:
+        # spilled blocks and checkpoints are job-transient: release them
+        # even when the job aborts mid-spill (exhausted retry budget,
+        # simulated OOM, a fetch that keeps failing)
+        if checkpoints is not None:
+            checkpoints.close()
+        if store is not None:
+            store.close()
+
+
+def _distance_join(
+    r: PointSet,
+    s: PointSet,
+    cfg: JoinConfig,
+    fault_plan: FaultPlan | None,
+    store: BlockStore | None,
+    checkpoints: CheckpointManager | None,
+) -> JoinResult:
     cm = cfg.cost_model
     cluster = SimCluster(cfg.num_workers, cm)
     num_partitions = cfg.resolved_partitions()
@@ -330,6 +479,19 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
         dst_workers = parts % cfg.num_workers
         record = KEY_BYTES + ps.record_bytes
         shuffle.add_transfers(src_workers, dst_workers, record)
+        if store is not None:
+            # spill this side's map output as addressable blocks, one per
+            # (source worker, destination worker) edge of the shuffle
+            _spill_side_blocks(
+                store,
+                side.value,
+                cells,
+                idxs,
+                src_workers,
+                dst_workers,
+                record,
+                cfg.num_workers,
+            )
 
         # modelled costs: mapping on source workers, reading on destination
         map_counts = np.bincount(
@@ -370,9 +532,11 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     metrics.remote_bytes = shuffle.remote_bytes
 
     # ------------------------------------------------------------------
-    # injected shuffle-fetch failures: each failed fetch re-reads the
-    # worker's whole shuffle input (Spark's FetchFailedException retry);
-    # the data itself is intact, so only clocks and volumes move
+    # injected shuffle-fetch failures.  Without the block store each
+    # failed fetch re-reads the worker's whole shuffle input (Spark's
+    # FetchFailedException retry); with it, a failure loses only one
+    # source executor's map output and recovery pulls just those blocks.
+    # The data itself is intact either way, so only clocks/volumes move.
     # ------------------------------------------------------------------
     fetch_retries = 0
     if fault_plan is not None:
@@ -383,12 +547,23 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
             while fault_plan.decide("fetch", w, attempt) is not None:
                 if attempt >= cfg.max_retries:
                     raise ShuffleFetchError(w, attempt + 1)
-                cluster.add_cost(w, "fetch_retry", read_cost_w[w])
-                shuffle.add_refetch(int(read_records_w[w]), int(read_bytes_w[w]))
+                if store is not None:
+                    _refetch_blocks(store, cluster, shuffle, w, attempt, cm)
+                else:
+                    cluster.add_cost(w, "fetch_retry", read_cost_w[w])
+                    shuffle.add_refetch(int(read_records_w[w]), int(read_bytes_w[w]))
                 fetch_retries += 1
                 attempt += 1
         metrics.extra["fetch_retries"] = float(fetch_retries)
         metrics.extra["refetch_bytes"] = float(shuffle.refetch_bytes)
+    metrics.blocks_refetched = shuffle.refetch_blocks
+    if store is not None:
+        metrics.blocks_spilled = store.blocks_spilled
+        metrics.extra["spilled_bytes"] = float(store.spilled_bytes)
+        if store.evictions:
+            metrics.extra["spill_evictions"] = float(store.evictions)
+        if store.blocks_dropped:
+            metrics.extra["spill_blocks_dropped"] = float(store.blocks_dropped)
 
     metrics.extra["peak_worker_heap_bytes"] = float(worker_heap.max())
     if cfg.memory_limit_bytes is not None:
@@ -400,9 +575,11 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     metrics.construction_time_model = (
         cluster.phase_makespan("map")
         + cluster.phase_makespan("shuffle_read")
-        # failed fetches re-read their worker's shuffle input before the
-        # join can start, so they stretch the construction makespan
+        # failed fetches re-read shuffle data before the join can start,
+        # so they stretch the construction makespan: whole partitions
+        # without the block store, only the missing blocks with it
         + cluster.phase_makespan("fetch_retry")
+        + cluster.phase_makespan("block_refetch")
         # broadcast is a bulk (torrent-style) transfer, not a per-record
         # shuffle read: charge it at the bulk byte rate
         + bcast.time_model(cm.local_byte_cost)
@@ -455,28 +632,38 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
             speculative=cfg.speculative,
             degrade=cfg.degrade,
         ),
+        checkpoints=checkpoints,
     )
     pair_counts = np.array([len(rid) for rid in report.pair_r], dtype=np.int64)
     result_count = int(pair_counts.sum())
+    cost_pos = (
+        report.candidates.astype(np.float64) * cm.compare_cost
+        + pair_counts.astype(np.float64) * cm.emit_cost
+    )
     for pos in range(plan.num_cells):
-        cluster.add_cost(
-            int(plan.workers[pos]),
-            "join",
-            float(report.candidates[pos]) * cm.compare_cost
-            + float(pair_counts[pos]) * cm.emit_cost,
-        )
+        cluster.add_cost(int(plan.workers[pos]), "join", float(cost_pos[pos]))
     for worker_id, seconds in report.worker_wall.items():
         cluster.record_wall(worker_id, "join", seconds)
 
-    # recovery on the modelled clocks: every extra attempt of a task
-    # recomputes its group's lineage from the shuffled inputs, and every
-    # injected straggler delay stalls its worker for that long
-    join_loads = cluster.phase_loads("join")
-    for worker_id, attempts in report.task_attempts.items():
-        if attempts > 1:
-            cluster.add_cost(
-                worker_id, "recovery", (attempts - 1) * join_loads[worker_id]
-            )
+    # recovery on the modelled clocks: every re-submitted cell recomputes
+    # its lineage from the shuffled inputs (without checkpoints a retried
+    # task re-submits its whole group, reproducing the classic
+    # ``(attempts - 1) x group cost`` charge); cells a retry salvaged from
+    # checkpoints skip the recompute and the avoided cost lands on the
+    # informational salvage clock.  Injected straggler delays stall their
+    # worker either way.
+    for pos in np.flatnonzero(report.resubmit_counts):
+        cluster.add_cost(
+            int(plan.workers[pos]),
+            "recovery",
+            float(report.resubmit_counts[pos]) * float(cost_pos[pos]),
+        )
+    for pos in np.flatnonzero(report.salvage_counts):
+        cluster.add_cost(
+            int(plan.workers[pos]),
+            SALVAGE_PHASE,
+            float(report.salvage_counts[pos]) * float(cost_pos[pos]),
+        )
     for event in report.fault_events:
         if event.kind == "straggler":
             cluster.add_cost(event.worker, "recovery", event.seconds)
@@ -505,6 +692,9 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     metrics.speculative_wins = report.speculative_wins
     metrics.recovery_seconds = report.recovery_seconds
     metrics.recovery_time_model = cluster.recovery_time()
+    metrics.cells_salvaged = report.cells_salvaged
+    metrics.salvaged_seconds = report.salvaged_wall_seconds
+    metrics.salvaged_time_model = cluster.salvaged_time()
     metrics.fault_events = len(report.fault_events) + fetch_retries
     if report.degraded:
         metrics.fallback_backend = report.backend_used

@@ -1,0 +1,249 @@
+"""Unit tests for the block store subsystem (repro.engine.blockstore):
+spill tiers, LRU eviction, atomic persistence, per-cell checkpoints, and
+the cleanup guarantees the fault-tolerance machinery relies on.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.blockstore import (
+    BlockId,
+    BlockStore,
+    CheckpointManager,
+    SpillConfig,
+)
+
+
+def block_arrays(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "cells": rng.integers(0, 100, n).astype(np.int64),
+        "points": np.arange(n, dtype=np.int64),
+    }
+
+
+# ----------------------------------------------------------------------
+# SpillConfig validation
+# ----------------------------------------------------------------------
+class TestSpillConfig:
+    def test_defaults_disabled(self):
+        cfg = SpillConfig()
+        assert cfg.tier == "none"
+        assert not cfg.enabled
+
+    @pytest.mark.parametrize("tier", ("memory", "disk"))
+    def test_real_tiers_enabled(self, tier):
+        assert SpillConfig(tier=tier).enabled
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown spill tier"):
+            SpillConfig(tier="tape")
+
+    def test_spill_dir_requires_tier(self):
+        with pytest.raises(ValueError, match="spill_dir requires"):
+            SpillConfig(spill_dir="/tmp/somewhere")
+
+    def test_checkpoints_require_tier(self):
+        with pytest.raises(ValueError, match="checkpoint_cells requires"):
+            SpillConfig(checkpoint_cells=True)
+
+    def test_negative_memory_limit_rejected(self):
+        with pytest.raises(ValueError, match="memory_limit_bytes"):
+            SpillConfig(tier="memory", memory_limit_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# BlockStore
+# ----------------------------------------------------------------------
+class TestBlockStore:
+    def test_rejects_none_tier(self):
+        with pytest.raises(ValueError):
+            BlockStore("none")
+
+    @pytest.mark.parametrize("tier", ("memory", "disk"))
+    def test_put_fetch_roundtrip(self, tier, tmp_path):
+        with BlockStore(tier, spill_dir=str(tmp_path)) as store:
+            arrays = block_arrays(50)
+            bid = BlockId("R", 0, 2)
+            store.put(bid, arrays, records=50, logical_bytes=50 * 32)
+            meta, back = store.fetch(bid)
+            assert meta.records == 50
+            assert meta.bytes == 50 * 32
+            assert np.array_equal(back["cells"], arrays["cells"])
+            assert np.array_equal(back["points"], arrays["points"])
+            assert store.blocks_spilled == 1
+            assert store.hits == 1 and store.misses == 0
+            assert store.fetched_bytes == 50 * 32
+
+    def test_fetch_unknown_block(self, tmp_path):
+        with BlockStore("disk", spill_dir=str(tmp_path)) as store:
+            assert store.fetch(BlockId("S", 1, 1)) == (None, None)
+            assert store.misses == 0  # never-spilled is not a miss
+
+    def test_put_overwrites(self, tmp_path):
+        with BlockStore("disk", spill_dir=str(tmp_path)) as store:
+            bid = BlockId("R", 0, 0)
+            store.put(bid, block_arrays(10, seed=1), records=10, logical_bytes=100)
+            store.put(bid, block_arrays(20, seed=2), records=20, logical_bytes=200)
+            meta, back = store.fetch(bid)
+            assert meta.records == 20
+            assert len(back["cells"]) == 20
+            assert len(store) == 1
+
+    def test_sources_for(self):
+        with BlockStore("memory") as store:
+            for side, src, dst in (("R", 0, 1), ("S", 2, 1), ("R", 1, 0)):
+                store.put(BlockId(side, src, dst), block_arrays(5), 5, 50)
+            assert store.sources_for(1) == [0, 2]
+            assert store.sources_for(0) == [1]
+            assert store.sources_for(9) == []
+
+    def test_lru_eviction_to_disk(self, tmp_path):
+        arrays = block_arrays(100)
+        nbytes = sum(a.nbytes for a in arrays.values())
+        store = BlockStore(
+            "memory", spill_dir=str(tmp_path), memory_limit_bytes=2 * nbytes
+        )
+        with store:
+            ids = [BlockId("R", i, 0) for i in range(3)]
+            for bid in ids:
+                store.put(bid, block_arrays(100, seed=bid.src), 100, 1000)
+            # the limit holds two blocks: the oldest was written out
+            assert store.evictions == 1
+            assert store.meta(ids[0]).location == "disk"
+            assert store.bytes_in_memory <= 2 * nbytes
+            # evicted blocks still serve fetches, bit-identical
+            meta, back = store.fetch(ids[0])
+            assert meta is not None and back is not None
+            assert np.array_equal(back["cells"], block_arrays(100, seed=0)["cells"])
+            assert store.blocks_dropped == 0
+
+    def test_lru_eviction_drops_without_directory(self):
+        arrays = block_arrays(100)
+        nbytes = sum(a.nbytes for a in arrays.values())
+        with BlockStore("memory", memory_limit_bytes=nbytes) as store:
+            a, b = BlockId("R", 0, 0), BlockId("R", 1, 0)
+            store.put(a, block_arrays(100), 100, 1000)
+            store.put(b, block_arrays(100), 100, 1000)
+            assert store.blocks_dropped == 1
+            meta, back = store.fetch(a)  # dropped: meta survives, data gone
+            assert meta.location == "dropped"
+            assert back is None
+            assert store.misses == 1
+
+    def test_fetch_lru_touch_protects_hot_block(self):
+        arrays = block_arrays(100)
+        nbytes = sum(a.nbytes for a in arrays.values())
+        with BlockStore("memory", memory_limit_bytes=2 * nbytes) as store:
+            a, b = BlockId("R", 0, 0), BlockId("R", 1, 0)
+            store.put(a, block_arrays(100), 100, 1000)
+            store.put(b, block_arrays(100), 100, 1000)
+            store.fetch(a)  # touch: a becomes most-recently-used
+            store.put(BlockId("R", 2, 0), block_arrays(100), 100, 1000)
+            assert store.meta(a).location == "memory"
+            assert store.meta(b).location == "dropped"
+
+    def test_close_removes_files_and_owned_dir(self, tmp_path):
+        user_dir = tmp_path / "spill"
+        store = BlockStore("disk", spill_dir=str(user_dir))
+        store.put(BlockId("R", 0, 0), block_arrays(10), 10, 100)
+        assert any(user_dir.iterdir())
+        store.close()
+        assert not user_dir.exists()  # store created the dir, so it goes
+
+    def test_close_spares_preexisting_dir(self, tmp_path):
+        keep = tmp_path / "keep.txt"
+        keep.write_text("mine")
+        store = BlockStore("disk", spill_dir=str(tmp_path))
+        store.put(BlockId("R", 0, 0), block_arrays(10), 10, 100)
+        store.close()
+        assert list(tmp_path.iterdir()) == [keep]  # only our files removed
+
+    def test_close_idempotent_and_blocks_put(self, tmp_path):
+        store = BlockStore("disk", spill_dir=str(tmp_path / "s"))
+        store.close()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.put(BlockId("R", 0, 0), block_arrays(1), 1, 10)
+
+    def test_worker_copy_never_deletes_parent_files(self, tmp_path):
+        """A store copy inside a pool worker (simulated by faking the
+        recorded pid) must not clean up files under the parent."""
+        store = BlockStore("disk", spill_dir=str(tmp_path / "s"))
+        store.put(BlockId("R", 0, 0), block_arrays(10), 10, 100)
+        clone = pickle.loads(pickle.dumps(store))
+        clone._pid = store._pid + 1  # pretend the clone lives elsewhere
+        clone.close()
+        meta, back = store.fetch(BlockId("R", 0, 0))
+        assert back is not None  # the parent's file survived
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# CheckpointManager
+# ----------------------------------------------------------------------
+class TestCheckpointManager:
+    @pytest.mark.parametrize("tier", ("memory", "disk"))
+    def test_save_load_roundtrip(self, tier, tmp_path):
+        with CheckpointManager(tier, str(tmp_path / "ckpt")) as mgr:
+            rid = np.array([3, 1, 4], dtype=np.int64)
+            sid = np.array([1, 5, 9], dtype=np.int64)
+            mgr.save(7, rid, sid, candidates=42, seconds=0.125)
+            rec = mgr.load(7)
+            assert np.array_equal(rec.rid, rid)
+            assert np.array_equal(rec.sid, sid)
+            assert rec.candidates == 42
+            assert rec.seconds == pytest.approx(0.125)
+            assert mgr.load(8) is None
+            assert len(mgr) == 1
+
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ValueError):
+            CheckpointManager("tape")
+
+    def test_disk_checkpoints_survive_reopen(self, tmp_path):
+        """Disk checkpoints must be readable by another manager on the
+        same directory -- that is what makes salvage work across process
+        kills."""
+        directory = str(tmp_path / "ckpt")
+        first = CheckpointManager("disk", directory)
+        first.save(0, np.array([1]), np.array([2]), 3, 0.5)
+        second = CheckpointManager("disk", directory)
+        assert second.load(0) is not None
+        first.close()
+
+    def test_memory_tier_detaches_on_pickle(self):
+        mgr = CheckpointManager("memory")
+        mgr.save(0, np.array([1]), np.array([2]), 3, 0.5)
+        clone = pickle.loads(pickle.dumps(mgr))
+        assert clone.load(0) is None  # heap partials don't cross processes
+        clone.save(1, np.array([1]), np.array([2]), 3, 0.5)
+        assert clone.load(1) is None  # detached saves are dropped
+        assert mgr.load(0) is not None  # the parent keeps its own
+        mgr.close()
+
+    def test_close_removes_created_dir(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        mgr = CheckpointManager("disk", str(directory))
+        mgr.save(0, np.array([1]), np.array([2]), 3, 0.5)
+        mgr.close()
+        assert not directory.exists()
+
+    def test_close_spares_preexisting_dir(self, tmp_path):
+        keep = tmp_path / "keep.txt"
+        keep.write_text("mine")
+        mgr = CheckpointManager("disk", str(tmp_path))
+        mgr.save(0, np.array([1]), np.array([2]), 3, 0.5)
+        mgr.close()
+        assert list(tmp_path.iterdir()) == [keep]
+
+    def test_half_written_file_tolerated(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        mgr = CheckpointManager("disk", str(directory))
+        with open(os.path.join(str(directory), "cell_00000005.npz"), "wb") as f:
+            f.write(b"not an npz")  # a kill mid-write leaves garbage
+        assert mgr.load(5) is None
+        mgr.close()

@@ -46,6 +46,19 @@ class TestJoin:
         assert "retries=" in out
         assert "speculative_wins=" in out
 
+    def test_join_with_spill_reports_block_store(self, tmp_path, capsys):
+        rc = main(["join", "--base-n", "1500", "--eps", "0.02",
+                   "--workers", "3", "--spill", "disk",
+                   "--spill-dir", str(tmp_path / "spill"),
+                   "--checkpoint-cells",
+                   "--faults", "fetch:p=1:times=1,kill:p=1:times=1",
+                   "--max-retries", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "block store [disk]:" in out
+        assert "salvaged_cells=" in out
+        assert not (tmp_path / "spill").exists()  # cleaned up on return
+
 
 class TestJoinValidation:
     def test_zero_workers_rejected(self):
@@ -68,6 +81,25 @@ class TestJoinValidation:
         with pytest.raises(SystemExit):
             main(["join", "--faults", "explode:p=1"])
         assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_bad_spill_tier_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--spill", "tape"])
+
+    def test_checkpoint_cells_requires_spill(self, capsys):
+        rc = main(["join", "--checkpoint-cells"])
+        assert rc == 2
+        assert "--checkpoint-cells requires" in capsys.readouterr().err
+
+    def test_spill_dir_requires_spill(self, capsys):
+        rc = main(["join", "--spill-dir", "/tmp/anywhere"])
+        assert rc == 2
+        assert "--spill-dir requires" in capsys.readouterr().err
+
+    def test_spill_rejected_for_non_grid_method(self, capsys):
+        rc = main(["join", "--method", "naive", "--spill", "memory"])
+        assert rc == 2
+        assert "grid methods only" in capsys.readouterr().err
 
 
 class TestExperiment:

@@ -378,3 +378,78 @@ class TestShuffleFetchFaults:
                          max_retries=0)
         with pytest.raises(ShuffleFetchError):
             distance_join(r, s, cfg)
+
+
+# ----------------------------------------------------------------------
+# chaos matrix with the block store and checkpointing enabled: the same
+# bit-identity guarantee must hold when recovery is fine-grained, and
+# every spill file must be gone when the job returns
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+@pytest.mark.parametrize("fault", sorted(FAULT_SPECS))
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_chaos_matrix_with_block_store(tmp_path, kernel, backend, fault):
+    reference = reference_result(kernel)
+    assert len(reference) > 0
+    r, s, res = chaos_join(
+        kernel, backend, faults=FAULT_SPECS[fault], max_retries=3,
+        spill="disk", spill_dir=str(tmp_path), checkpoint_cells=True,
+    )
+    assert np.array_equal(res.r_ids, reference.r_ids), (kernel, backend, fault)
+    assert np.array_equal(res.s_ids, reference.s_ids), (kernel, backend, fault)
+    check = validate_join_result(res, r, s, EPS)
+    assert check.ok, check.issues
+    m = res.metrics
+    assert m.fault_events > 0, "the injected fault never fired"
+    assert m.blocks_spilled > 0  # map outputs became addressable blocks
+    if fault in ("kill", "kernel"):
+        # the retried attempts salvaged the cells finished before the fault
+        assert m.cells_salvaged > 0, (kernel, backend, fault)
+        assert m.salvaged_time_model > 0
+    if fault == "fetch":
+        # recovery pulled blocks, not whole partitions
+        assert m.blocks_refetched > 0
+        assert m.extra["refetch_bytes"] > 0
+        assert m.recovery_time_model > 0
+    # leak check: every spilled block and checkpoint is released on return
+    assert list(tmp_path.iterdir()) == [], "spill dir not cleaned up"
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_block_refetch_bytes_strictly_lower(tmp_path, backend):
+    """Under identical fetch faults the block store must refetch strictly
+    fewer bytes (and strictly less modelled recovery time) than the legacy
+    whole-partition re-read."""
+    fault = FAULT_SPECS["fetch"]
+    no_store = chaos_join("plane_sweep", backend, faults=fault,
+                          max_retries=3)[2].metrics
+    stored = chaos_join("plane_sweep", backend, faults=fault, max_retries=3,
+                        spill="disk", spill_dir=str(tmp_path),
+                        checkpoint_cells=True)[2].metrics
+    assert stored.extra["refetch_bytes"] > 0  # recovery did happen
+    assert stored.extra["refetch_bytes"] < no_store.extra["refetch_bytes"]
+    assert stored.recovery_time_model < no_store.recovery_time_model
+    assert stored.blocks_refetched > 0
+    assert no_store.blocks_refetched == 0
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("abort_faults, expected", [
+    ("kernel:p=1:times=0", RetryBudgetExhausted),  # join never finishes
+    ("fetch:p=1:times=0", ShuffleFetchError),      # shuffle never heals
+])
+def test_spill_dir_clean_after_abort(tmp_path, abort_faults, expected):
+    """Temp-resource cleanup on abort paths: a job that dies mid-spill
+    must still release every block and checkpoint file."""
+    r, s = chaos_inputs()
+    cfg = JoinConfig(
+        eps=EPS, method="lpib", num_workers=3, executor_workers=2,
+        execution_backend="threads", local_kernel="plane_sweep",
+        spill="disk", spill_dir=str(tmp_path), checkpoint_cells=True,
+        faults=abort_faults, max_retries=1, degrade=False,
+    )
+    with pytest.raises(expected):
+        distance_join(r, s, cfg)
+    assert list(tmp_path.iterdir()) == [], "abort leaked spill files"

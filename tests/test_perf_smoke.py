@@ -86,3 +86,42 @@ def test_grid_hash_scales_subquadratically():
     assert large <= 12.0 * max(small, 1e-4), (
         f"grid_hash: {N//2} pts -> {small:.3f}s but {N} pts -> {large:.3f}s"
     )
+
+
+@pytest.mark.perfsmoke
+def test_block_recovery_beats_full_recompute(tmp_path):
+    """Fine-grained recovery must cost less than whole-partition recovery.
+
+    Under identical deterministic fetch+kill faults, the block store plus
+    per-cell checkpoints must strictly lower the *modelled* recovery time
+    (recovery + fetch_retry + block_refetch makespan) versus the legacy
+    full-recompute path.  Modelled clocks are deterministic, so unlike the
+    wall-time guards above this comparison has no noise headroom at all.
+    """
+    from repro.data.generators import gaussian_clusters
+    from repro.joins.distance_join import JoinConfig, distance_join
+
+    r = gaussian_clusters(800, seed=71, name="R")
+    s = gaussian_clusters(800, seed=72, name="S")
+    base = dict(
+        eps=0.02, method="lpib", num_workers=3, executor_workers=2,
+        faults="fetch:p=1:times=1;kill:p=1:times=1", max_retries=3,
+    )
+    legacy = distance_join(r, s, JoinConfig(**base)).metrics
+    stored = distance_join(
+        r, s,
+        JoinConfig(**base, spill="disk", spill_dir=str(tmp_path),
+                   checkpoint_cells=True),
+    ).metrics
+
+    # guard against a vacuous pass: both runs actually recovered
+    assert legacy.extra["fetch_retries"] > 0
+    assert stored.blocks_refetched > 0
+    assert stored.cells_salvaged > 0
+    assert legacy.recovery_time_model > 0
+
+    assert stored.recovery_time_model < legacy.recovery_time_model, (
+        f"block-level recovery ({stored.recovery_time_model:.6f}s modelled) "
+        f"did not beat full recompute ({legacy.recovery_time_model:.6f}s)"
+    )
+    assert stored.extra["refetch_bytes"] < legacy.extra["refetch_bytes"]
