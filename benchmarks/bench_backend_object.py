@@ -1,0 +1,122 @@
+"""Object-join backend sweep: measured wall clock vs. modelled makespan.
+
+The object-join twin of ``bench_backend_speedup.py``: runs the same
+anchored object distance join (anchor plane-sweep + exact refinement)
+on every execution backend (``serial`` | ``threads`` | ``processes``)
+and records, per backend: the end-to-end wall seconds, the measured
+local-join makespan, the modelled makespan, and the per-stage wall
+seconds the staged pipeline now reports.  Every backend must return the
+serial run's pair count -- the sweep asserts it.  Results land in
+``benchmarks/results/BENCH_backend_object.json``.
+
+Run directly for the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_backend_object.py \
+        --n 4000 --workers 4 --eps 0.01
+
+The exact-refinement stage is a per-candidate python loop, so the
+object join is refinement-bound rather than kernel-bound; the backend
+parallelizes the anchor sweep only.  The emitted JSON records
+``cpu_count`` -- on a single-CPU host no backend can beat serial, and
+the numbers say so.
+"""
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+RESULTS = (
+    Path(__file__).resolve().parent / "results" / "BENCH_backend_object.json"
+)
+
+
+def run_once(n, eps, backend, workers, seed_r=11, seed_s=22):
+    from repro.data.object_generators import random_boxes
+    from repro.geometry.point import Side
+    from repro.joins.object_join import ObjectSet, object_distance_join
+
+    r = ObjectSet(random_boxes(n, Side.R, seed=seed_r), "R")
+    s = ObjectSet(random_boxes(n, Side.S, seed=seed_s), "S")
+
+    t0 = time.perf_counter()
+    res = object_distance_join(
+        r, s, eps,
+        method="lpib",
+        num_workers=workers,
+        execution_backend=backend,
+        executor_workers=workers,
+    )
+    wall = time.perf_counter() - t0
+    m = res.metrics
+    return {
+        "backend": backend,
+        "n": n,
+        "eps": eps,
+        "sim_workers": workers,
+        "os_workers": m.extra.get("executor_os_workers", 1),
+        "wall_seconds": round(wall, 4),
+        "join_wall_makespan": round(m.join_wall_makespan, 4),
+        "join_wall_total": round(m.extra.get("join_wall_total", 0.0), 4),
+        "modelled_makespan": round(m.join_time_model, 4),
+        "stage_seconds": {
+            name: round(secs, 4) for name, secs in m.stage_times.items()
+        },
+        "results": m.results,
+        "candidate_pairs": m.candidate_pairs,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=4_000, help="objects per side")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--eps", type=float, default=0.01)
+    ap.add_argument("--backends", nargs="*",
+                    default=["serial", "threads", "processes"])
+    ap.add_argument("--out", default=str(RESULTS))
+    args = ap.parse_args(argv)
+
+    rows = []
+    serial_wall = None
+    serial_results = None
+    for backend in args.backends:
+        row = run_once(args.n, args.eps, backend, args.workers)
+        if backend == "serial":
+            serial_wall = row["join_wall_makespan"]
+            serial_results = row["results"]
+        if serial_results is not None and row["results"] != serial_results:
+            raise AssertionError(
+                f"{backend} returned {row['results']} pairs, "
+                f"serial returned {serial_results}"
+            )
+        if serial_wall:
+            row["speedup_vs_serial"] = round(
+                serial_wall / max(row["join_wall_makespan"], 1e-9), 3
+            )
+        rows.append(row)
+        print(
+            f"{backend:>10}: wall {row['wall_seconds']:.2f}s, "
+            f"join makespan {row['join_wall_makespan']:.2f}s measured / "
+            f"{row['modelled_makespan']:.2f}s modelled, "
+            f"{row['results']:,} results"
+        )
+
+    payload = {
+        "description": (
+            "measured object-join wall clock per execution backend "
+            "(anchor sweep + exact refinement)"
+        ),
+        "cpu_count": os.cpu_count(),
+        "runs": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

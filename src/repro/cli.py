@@ -16,6 +16,7 @@ Installed as the ``repro`` console script; also runnable with
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.harness import BenchScale
@@ -26,6 +27,8 @@ from repro.engine.executor import BACKENDS
 from repro.engine.faults import FaultPlan
 from repro.joins.api import ALL_METHODS, spatial_join
 from repro.joins.distance_join import GRID_METHODS
+from repro.joins.generalized_join import METHODS as GENERALIZED_METHODS
+from repro.joins.generalized_join import PARTITIONS
 from repro.joins.local import LOCAL_KERNELS
 
 _DATASETS = ("R1", "R2", "S1", "S2")
@@ -79,46 +82,161 @@ def _load_input(spec: str, base_n: int, payload: int):
     return read_points_text(spec, payload_bytes=payload, name=spec)
 
 
-def _cmd_join(args: argparse.Namespace) -> int:
+#: Join variants of the ``--join`` flag; all but ``spark-style`` run
+#: through the staged pipeline's executor, so ``--backend``, ``--faults``
+#: and ``--spill`` compose with every one of them.
+JOIN_VARIANTS = ("distance", "object", "intersection", "generalized", "spark-style")
+
+#: ``--method`` values valid per ``--join`` variant.
+_VARIANT_METHODS = {
+    "distance": ALL_METHODS,
+    "object": GRID_METHODS,
+    "intersection": GRID_METHODS,
+    "generalized": GENERALIZED_METHODS,
+    "spark-style": ("lpib", "diff", "uni_r", "uni_s"),
+}
+
+
+def _validate_join_args(args: argparse.Namespace) -> str | None:
+    """Semantic cross-flag validation; returns an error line or ``None``."""
+    methods = _VARIANT_METHODS[args.join]
+    if args.method not in methods:
+        return (f"--join {args.join} supports methods {', '.join(methods)}; "
+                f"got {args.method!r}")
+    if args.join in ("object", "intersection", "generalized"):
+        if args.kernel != "plane_sweep":
+            return (f"--join {args.join} sweeps anchors with the plane_sweep "
+                    f"kernel only; --kernel {args.kernel} does not apply")
+    if args.join == "spark-style":
+        if args.backend != "serial":
+            return ("--join spark-style runs the simulated RDD layer "
+                    "serially; --backend does not apply")
+        if args.faults is not None:
+            return "--join spark-style does not support fault injection"
+        if args.spill != "none":
+            return "--join spark-style does not support --spill"
     if args.spill == "none":
         if args.spill_dir is not None:
-            print("--spill-dir requires --spill memory|disk", file=sys.stderr)
-            return 2
+            return "--spill-dir requires --spill memory|disk"
         if args.checkpoint_cells:
-            print("--checkpoint-cells requires --spill memory|disk", file=sys.stderr)
-            return 2
-    if args.spill != "none" and args.method not in GRID_METHODS:
-        print(f"--spill applies to grid methods only ({', '.join(GRID_METHODS)})",
-              file=sys.stderr)
-        return 2
+            return "--checkpoint-cells requires --spill memory|disk"
+    if (args.join == "distance" and args.spill != "none"
+            and args.method not in GRID_METHODS):
+        return (f"--spill applies to grid methods only "
+                f"({', '.join(GRID_METHODS)})")
+    return None
+
+
+def _execution_options(args: argparse.Namespace) -> dict:
+    """The staged pipeline's execution surface, shared by every variant."""
+    options = {
+        "execution_backend": args.backend,
+        "max_retries": args.max_retries,
+    }
+    if args.task_timeout is not None:
+        options["task_timeout"] = args.task_timeout
+    if args.faults is not None:
+        options["faults"] = args.faults.with_seed(args.fault_seed)
+    if args.spill != "none":
+        options["spill"] = args.spill
+        options["spill_dir"] = args.spill_dir
+        options["checkpoint_cells"] = args.checkpoint_cells
+    return options
+
+
+def _run_join_variant(args: argparse.Namespace):
+    """Run the selected join variant; returns ``(result, n_r, n_s)``."""
+    if args.join in ("object", "intersection"):
+        # object joins run over generated spatial objects (--r/--s name
+        # point inputs, which have no extent)
+        from repro.data.object_generators import random_boxes
+        from repro.geometry.point import Side
+        from repro.joins.object_join import (
+            ObjectSet,
+            object_distance_join,
+            object_intersection_join,
+        )
+
+        r = ObjectSet(random_boxes(args.base_n, Side.R, seed=11), "R")
+        s = ObjectSet(random_boxes(args.base_n, Side.S, seed=22), "S")
+        options = {"num_workers": args.workers, **_execution_options(args)}
+        if args.join == "object":
+            result = object_distance_join(r, s, args.eps, method=args.method,
+                                          **options)
+        else:
+            result = object_intersection_join(r, s, method=args.method,
+                                              **options)
+        return result, len(r), len(s)
     r = _load_input(args.r, args.base_n, args.payload)
     s = _load_input(args.s, args.base_n, args.payload)
+    if args.join == "generalized":
+        from repro.joins.generalized_join import (
+            GeneralizedJoinConfig,
+            generalized_distance_join,
+        )
+
+        cfg = GeneralizedJoinConfig(
+            eps=args.eps,
+            partition=args.partition,
+            method=args.method,
+            num_workers=args.workers,
+            **_execution_options(args),
+        )
+        return generalized_distance_join(r, s, cfg), len(r), len(s)
+    if args.join == "spark-style":
+        import tempfile
+
+        from repro.engine.cluster import SimCluster
+        from repro.joins.spark_style import spark_style_join
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path_r = os.path.join(tmp, "r.txt")
+            path_s = os.path.join(tmp, "s.txt")
+            write_points_text(r, path_r)
+            write_points_text(s, path_s)
+            result = spark_style_join(
+                path_r, path_s, r.mbr().union(s.mbr()), args.eps,
+                SimCluster(args.workers), method=args.method,
+            )
+        return result, len(r), len(s)
     options = {}
     if args.method not in ("naive",):
         options["num_workers"] = args.workers
     if args.method in GRID_METHODS:
-        # execution backend, kernel choice, fault tolerance and the block
-        # store exist only on the grid driver
-        options["execution_backend"] = args.backend
+        # the kernel choice exists only on the point grid driver; the
+        # execution surface is shared by every staged driver
         options["local_kernel"] = args.kernel
-        options["max_retries"] = args.max_retries
-        if args.task_timeout is not None:
-            options["task_timeout"] = args.task_timeout
-        if args.faults is not None:
-            options["faults"] = args.faults.with_seed(args.fault_seed)
-        if args.spill != "none":
-            options["spill"] = args.spill
-            options["spill_dir"] = args.spill_dir
-            options["checkpoint_cells"] = args.checkpoint_cells
-    result = spatial_join(r, s, eps=args.eps, method=args.method, **options)
+        options.update(_execution_options(args))
+    return spatial_join(r, s, eps=args.eps, method=args.method, **options), len(r), len(s)
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    error = _validate_join_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    result, n_r, n_s = _run_join_variant(args)
+    unit = "objects" if args.join in ("object", "intersection") else "points"
+    print(f"inputs: {n_r:,} x {n_s:,} {unit}, eps={args.eps}, "
+          f"join={args.join}, method={args.method}")
+    if args.join == "spark-style":
+        sh = result.shuffle
+        print(f"results: {len(result.pairs):,} pairs "
+              f"({result.produced:,} produced before distinct)")
+        print(f"shuffle: {sh.records:,} records, {sh.bytes / 1e6:.2f}MB "
+              f"(remote {sh.remote_bytes / 1e6:.2f}MB)")
+        if args.show_pairs:
+            for rid, sid in sorted(result.pairs)[: args.show_pairs]:
+                print(f"  ({rid}, {sid})")
+        return 0
     m = result.metrics
-    print(f"inputs: {len(r):,} x {len(s):,} points, eps={args.eps}, "
-          f"method={args.method}")
     print(m.summary())
     print(f"selectivity: {m.selectivity:.3g}   candidates: {m.candidate_pairs:,}")
-    if args.method in GRID_METHODS:
+    staged = args.join != "distance" or args.method in GRID_METHODS
+    if staged:
+        kernel = args.kernel if args.join == "distance" else "plane_sweep"
         print(
-            f"local join [{m.execution_backend}/{args.kernel}]: "
+            f"local join [{m.execution_backend}/{kernel}]: "
             f"measured makespan {m.join_wall_makespan * 1000:.1f}ms "
             f"(modelled {m.join_time_model:.2f}s)"
         )
@@ -228,11 +346,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    join = sub.add_parser("join", help="run an epsilon-distance join")
+    join = sub.add_parser("join", help="run a spatial join")
+    join.add_argument("--join", choices=JOIN_VARIANTS, default="distance",
+                      dest="join",
+                      help="join variant: the point distance join, the "
+                           "object distance/intersection joins, the "
+                           "generalized (rectangulation) join or the "
+                           "literal RDD pipeline")
     join.add_argument("--r", default="S1", help="dataset codename or id,x,y file")
     join.add_argument("--s", default="S2", help="dataset codename or id,x,y file")
     join.add_argument("--eps", type=float, default=0.012)
-    join.add_argument("--method", choices=ALL_METHODS, default="lpib")
+    join.add_argument("--method",
+                      choices=sorted({*ALL_METHODS, *GENERALIZED_METHODS}),
+                      default="lpib",
+                      help="replication method (validity depends on --join)")
+    join.add_argument("--partition", choices=PARTITIONS, default="quadtree",
+                      help="rectangulation of the generalized join")
     join.add_argument("--workers", type=_positive_int, default=12)
     join.add_argument("--backend", choices=BACKENDS, default="serial",
                       help="execution backend for the local-join phase "

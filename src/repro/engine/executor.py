@@ -291,9 +291,9 @@ def _run_cells(
     ``fault_at`` cells have completed, so with checkpointing enabled a
     failing attempt still persists the cells it finished first.
     """
-    from repro.joins.local import LOCAL_KERNELS  # deferred: import cycle
+    from repro.engine.kernels import get_kernel
 
-    kernel = LOCAL_KERNELS[kernel_name]
+    kernel = get_kernel(kernel_name)
     ro, so = plan.r_offsets, plan.s_offsets
     results = []
     for i, pos in enumerate(positions):

@@ -101,6 +101,11 @@ class JoinMetrics:
     # wall-clock of the in-process computation (seconds)
     wall_times: dict[str, float] = field(default_factory=dict)
 
+    # wall-clock per pipeline *stage* (finer than wall_times' phases):
+    # populated by the staged driver (repro.joins.pipeline), keyed by
+    # stage name, accumulated when a stage runs more than once
+    stage_times: dict[str, float] = field(default_factory=dict)
+
     # per-worker modelled join cost, for load-balance analysis
     worker_join_costs: list[float] = field(default_factory=list)
 

@@ -40,15 +40,25 @@ class ShuffleStats:
         self,
         src_workers: np.ndarray,
         dst_workers: np.ndarray,
-        record_bytes: int,
+        record_bytes: int | np.ndarray,
     ) -> None:
-        """Account a batch of equally-sized records."""
+        """Account a batch of records.
+
+        ``record_bytes`` is one size shared by the whole batch (points:
+        every tuple serializes identically) or a per-record array of
+        sizes (objects with extent; must parallel ``src_workers``).
+        """
         n = len(src_workers)
-        remote = int(np.count_nonzero(src_workers != dst_workers))
+        remote_mask = src_workers != dst_workers
+        remote = int(np.count_nonzero(remote_mask))
         self.records += n
-        self.bytes += n * record_bytes
         self.remote_records += remote
-        self.remote_bytes += remote * record_bytes
+        if np.ndim(record_bytes) == 0:
+            self.bytes += n * record_bytes
+            self.remote_bytes += remote * record_bytes
+        else:
+            self.bytes += int(np.sum(record_bytes))
+            self.remote_bytes += int(np.sum(record_bytes[remote_mask]))
 
     def add_single(self, src_worker: int, dst_worker: int, record_bytes: int) -> None:
         """Account one record."""

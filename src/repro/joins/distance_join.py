@@ -1,22 +1,27 @@
 """The parallel epsilon-distance join driver (Algorithm 5 of the paper).
 
-The driver executes the full pipeline on the simulated cluster:
+The driver is a composition of :mod:`repro.joins.pipeline` stages:
 
-1. **Grid construction** from the data MBR and ``eps`` (Sect. 4.1).
-2. **Sampling and agreement-based grid construction**: Bernoulli-sample
-   both inputs, accumulate per-cell statistics, instantiate the graph of
-   agreements with the configured policy (LPiB/DIFF) and run Algorithm 1
-   to make it duplicate-free.  PBSM baselines skip the graph and use
-   universal replication instead.
-3. **Spatial mapping of points**: every point is flat-mapped to the 1-d
-   ids of its assigned cells (Algorithms 2-4).
-4. **Shuffle**: each (cell, tuple) record travels to the worker owning
-   the cell's reduce partition -- cells are placed by hash or by the LPT
-   heuristic (Sect. 6.2).  Record and remote-read volumes are accounted
-   exactly.
-5. **Local join + refinement**: a per-cell kernel finds and verifies the
-   result pairs; each worker's modelled clock advances by its work, and
-   the phase's modelled duration is the slowest worker.
+1. **Grid construction** (``construction``): grid from the data MBR and
+   ``eps`` (Sect. 4.1); Bernoulli-sample both inputs, accumulate per-cell
+   statistics, instantiate the graph of agreements with the configured
+   policy (LPiB/DIFF) and run Algorithm 1 to make it duplicate-free --
+   PBSM baselines skip the graph and use universal replication; broadcast
+   the grid (plus agreements); place cells on workers by hash or LPT
+   (Sect. 6.2).
+2. **Spatial mapping of points** (``assign``): every point is flat-mapped
+   to the 1-d ids of its assigned cells (Algorithms 2-4).
+3. **Shuffle** (shared :class:`~repro.joins.pipeline.ShuffleStage` and
+   :class:`~repro.joins.pipeline.ShuffleRecoveryStage`): each
+   (cell, tuple) record travels to the worker owning the cell's reduce
+   partition; record and remote-read volumes are accounted exactly,
+   blocks spill, fetch faults heal.
+4. **Local join + refinement** (shared
+   :class:`~repro.joins.pipeline.LocalJoinStage` + collect/accounting):
+   a per-cell kernel finds and verifies the result pairs through the
+   fault-tolerant executor on any backend.
+5. **Optional deduplication** (shared
+   :class:`~repro.joins.pipeline.DistinctStage`, the Table 6 variant).
 
 The returned :class:`JoinResult` carries the result pairs and a
 :class:`~repro.engine.metrics.JoinMetrics` with all reproduction metrics.
@@ -24,65 +29,51 @@ The returned :class:`JoinResult` carries the result pairs and a
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.agreements.graph import AgreementGraph
-from repro.agreements.marking import generate_duplicate_free_graph
-from repro.agreements.policies import (
-    DiffPolicy,
-    LPiBPolicy,
-    instantiate_pair_types,
-)
 from repro.data.pointset import PointSet
 from repro.data.sampling import bernoulli_sample
-from repro.engine.blockstore import (
-    BlockId,
-    BlockStore,
-    CheckpointManager,
-    SpillConfig,
-)
-from repro.engine.cluster import SALVAGE_PHASE, SimCluster
-from repro.engine.executor import (
-    BACKENDS,
-    RetryPolicy,
-    build_execution_plan,
-    execute_plan,
-)
-from repro.engine.faults import FaultPlan, ShuffleFetchError
-from repro.engine.lpt import lpt_assignment
-from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
-from repro.engine.partitioner import ExplicitPartitioner, HashPartitioner
-from repro.engine.shuffle import KEY_BYTES, ShuffleStats
+from repro.engine.blockstore import SpillConfig
+from repro.engine.faults import FaultPlan
+from repro.engine.metrics import CostModel, JoinMetrics
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.shuffle import KEY_BYTES
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
 from repro.grid.statistics import GridStatistics
-from repro.joins.local import LOCAL_KERNELS
+from repro.joins.pipeline import (
+    GRID_METHODS,
+    CollectPairsStage,
+    DistinctStage,
+    JoinAccountingStage,
+    JoinContext,
+    LocalJoinStage,
+    ShuffleRecoveryStage,
+    ShuffleStage,
+    SideRecords,
+    SimulatedOOMError,
+    Stage,
+    adaptive_lpt_costs,
+    build_grid_assigner,
+    lpt_partitioner,
+    make_context,
+    run_staged_join,
+)
 from repro.replication.assign import AdaptiveAssigner
-from repro.replication.pbsm import UniversalAssigner
 
-#: Join methods implemented by this driver.
-GRID_METHODS = ("lpib", "diff", "uni_r", "uni_s", "eps_grid")
-
-
-class SimulatedOOMError(MemoryError):
-    """A simulated executor exceeded its modelled heap.
-
-    Carries the offending worker and its modelled heap demand so
-    benchmarks can report the paper-style "did not finish" marker.
-    """
-
-    def __init__(self, worker: int, demand_bytes: float, limit_bytes: int):
-        self.worker = worker
-        self.demand_bytes = demand_bytes
-        self.limit_bytes = limit_bytes
-        super().__init__(
-            f"worker {worker} needs ~{demand_bytes / 1e6:.1f} MB heap "
-            f"(limit {limit_bytes / 1e6:.1f} MB)"
-        )
+__all__ = [
+    "GRID_METHODS",
+    "JoinConfig",
+    "JoinResult",
+    "SimulatedOOMError",
+    "distance_join",
+    "join_with_method",
+    "config_variants",
+    "paper_default_config",
+]
 
 
 @dataclass(frozen=True)
@@ -184,587 +175,156 @@ class JoinResult:
         return set(zip(self.r_ids.tolist(), self.s_ids.tolist()))
 
 
-def _build_assigner(
-    grid: Grid,
-    cfg: JoinConfig,
-    r: PointSet,
-    s: PointSet,
-    stats: GridStatistics | None,
-    metrics: JoinMetrics,
-):
-    """Instantiate the replication scheme the configured method requires."""
-    if cfg.method in ("lpib", "diff"):
-        if stats is None:
-            raise ValueError("adaptive methods require sample statistics")
-        policy = LPiBPolicy() if cfg.method == "lpib" else DiffPolicy()
-        pair_types = instantiate_pair_types(grid, stats, policy)
-        graph = AgreementGraph(grid, pair_types, stats)
-        if cfg.duplicate_free:
-            report = generate_duplicate_free_graph(graph, cfg.marking_ordering)
-            metrics.extra["marked_edges"] = report.marked_edges
-            metrics.extra["mixed_triangles"] = report.mixed_triangles
-        counts = graph.agreement_counts()
-        metrics.extra["agreements_r"] = counts[Side.R]
-        metrics.extra["agreements_s"] = counts[Side.S]
-        return AdaptiveAssigner(grid, graph), pair_types
-    if cfg.method == "uni_r":
-        return UniversalAssigner(grid, Side.R), None
-    if cfg.method == "uni_s":
-        return UniversalAssigner(grid, Side.S), None
-    if cfg.method == "eps_grid":
-        smaller = Side.R if len(r) <= len(s) else Side.S
-        return UniversalAssigner(grid, smaller), None
-    raise ValueError(f"unknown method {cfg.method!r}; choose from {GRID_METHODS}")
+class _BuildPartitionStage(Stage):
+    """Grid, sampling, agreements, broadcast, partitioner (Sect. 4-6)."""
 
+    name = "build_partition"
+    phase = "construction"
 
-def _lpt_costs(
-    grid: Grid,
-    stats: GridStatistics,
-    pair_types: dict | None,
-    replicated: Side | None,
-) -> dict[int, float]:
-    """Estimated per-cell join cost for LPT (Sect. 6.2).
+    def __init__(self, r: PointSet, s: PointSet):
+        self.r = r
+        self.s = s
 
-    The paper's estimate is the product of the points of each input that
-    will *eventually* be in the cell -- natives plus expected replicas.
-    Replica inflow per border is read off the sample statistics, using the
-    agreement types (adaptive methods) or the universally replicated input
-    (PBSM baselines).
-    """
-    n = grid.num_cells
-    inflow = {Side.R: np.zeros(n), Side.S: np.zeros(n)}
-    for a, b, _kind in grid.adjacent_pairs():
-        if pair_types is not None:
-            sides: tuple[Side, ...] = (pair_types[frozenset((a, b))],)
-        else:
-            sides = (replicated,) if replicated is not None else ()
-        for side in sides:
-            inflow[side][b] += stats.directed_candidates(a, b, side)
-            inflow[side][a] += stats.directed_candidates(b, a, side)
-    costs: dict[int, float] = {}
-    for cell in range(n):
-        r_est = stats.cell_count(cell, Side.R) + inflow[Side.R][cell]
-        s_est = stats.cell_count(cell, Side.S) + inflow[Side.S][cell]
-        if r_est and s_est:
-            costs[cell] = float(r_est * s_est)
-    return costs
+    def run(self, ctx: JoinContext) -> None:
+        cfg: JoinConfig = ctx.cfg
+        cm = ctx.cost_model
+        r, s = self.r, self.s
+        mbr = cfg.mbr or r.mbr().union(s.mbr())
+        factor = 1.0 if cfg.method == "eps_grid" else cfg.resolution_factor
+        grid = Grid(mbr, cfg.eps, factor)
+        ctx.metrics.grid_cells = grid.num_cells
 
+        needs_stats = cfg.method in ("lpib", "diff") or cfg.cell_assignment == "lpt"
+        stats = None
+        if needs_stats:
+            stats = GridStatistics(grid)
+            r_sample = bernoulli_sample(r, cfg.sample_rate, cfg.seed)
+            s_sample = bernoulli_sample(s, cfg.sample_rate, cfg.seed + 1)
+            stats.add_points(r_sample.xs, r_sample.ys, Side.R)
+            stats.add_points(s_sample.xs, s_sample.ys, Side.S)
 
-def _group_slices(cells: np.ndarray, point_idx: np.ndarray):
-    """Sort assignments by cell; yield ``(cell_id, point_index_array)``."""
-    order = np.argsort(cells, kind="stable")
-    cells_sorted = cells[order]
-    idx_sorted = point_idx[order]
-    uniq, starts = np.unique(cells_sorted, return_index=True)
-    bounds = np.append(starts, len(cells_sorted))
-    return {
-        int(uniq[i]): idx_sorted[bounds[i] : bounds[i + 1]] for i in range(len(uniq))
-    }
-
-
-def _spill_side_blocks(
-    store: BlockStore,
-    side: str,
-    cells: np.ndarray,
-    idxs: np.ndarray,
-    src_workers: np.ndarray,
-    dst_workers: np.ndarray,
-    record_bytes: int,
-    num_workers: int,
-) -> None:
-    """Spill one side's map output, one block per shuffle edge.
-
-    Mirrors Spark's map-output files: each map executor writes one
-    addressable block per reduce destination, so a lost destination input
-    can later be healed per source instead of re-read wholesale.
-    """
-    if len(cells) == 0:
-        return
-    key = src_workers.astype(np.int64) * num_workers + dst_workers.astype(np.int64)
-    order = np.argsort(key, kind="stable")
-    sorted_key = key[order]
-    uniq, starts = np.unique(sorted_key, return_index=True)
-    bounds = np.append(starts, len(sorted_key))
-    for i, k in enumerate(uniq):
-        sel = order[bounds[i] : bounds[i + 1]]
-        src, dst = divmod(int(k), num_workers)
-        store.put(
-            BlockId(side, src, dst),
-            {
-                "cells": np.ascontiguousarray(cells[sel]),
-                "points": np.ascontiguousarray(idxs[sel]),
-            },
-            records=len(sel),
-            logical_bytes=len(sel) * record_bytes,
+        assigner, pair_types = build_grid_assigner(
+            grid,
+            cfg.method,
+            stats,
+            input_sizes=(len(r), len(s)),
+            duplicate_free=cfg.duplicate_free,
+            marking_ordering=cfg.marking_ordering,
+            metrics=ctx.metrics,
         )
 
+        # Algorithm 5 broadcasts the grid (plus agreements) to every
+        # executor.
+        from repro.engine.broadcast import (
+            agreement_broadcast_bytes,
+            broadcast_cost,
+            grid_broadcast_bytes,
+        )
 
-def _refetch_blocks(
-    store: BlockStore,
-    cluster: SimCluster,
-    shuffle: ShuffleStats,
-    dst: int,
-    attempt: int,
-    cm: CostModel,
-) -> int:
-    """Heal one failed fetch from the block store.
-
-    A fetch failure loses the map output of a single source executor
-    (Spark's ``FetchFailedException`` names one ``BlockManagerId``); which
-    source is lost is a deterministic function of the attempt so every run
-    replays identically.  Only that source's blocks are re-pulled --
-    served from the spill store at the local read rate -- instead of the
-    destination's whole shuffle input.
-    """
-    sources = store.sources_for(dst)
-    if not sources:  # pragma: no cover - read_records_w guards this
-        return 0
-    lost_src = sources[attempt % len(sources)]
-    refetched = 0
-    records = 0
-    logical = 0
-    cost = 0.0
-    for side in ("R", "S"):
-        meta, arrays = store.fetch(BlockId(side, lost_src, dst))
-        if meta is None:
-            continue  # this side sent nothing along that shuffle edge
-        if arrays is not None:
-            # served from the spilled block: local re-read
-            cost += meta.bytes * cm.local_byte_cost
+        if isinstance(assigner, AdaptiveAssigner):
+            payload = agreement_broadcast_bytes(assigner.graph)
         else:
-            # the block was evicted and dropped: regenerate its records
-            # from the source split at the remote rate -- still only this
-            # block's share, never the whole input
-            cost += meta.bytes * cm.remote_byte_cost
-        cost += meta.records * cm.reduce_record_cost
-        records += meta.records
-        logical += meta.bytes
-        refetched += 1
-    cluster.add_cost(dst, "block_refetch", cost)
-    shuffle.add_refetch(records, logical, blocks=refetched)
-    return refetched
+            payload = grid_broadcast_bytes(grid)
+        bcast = broadcast_cost(payload, cfg.num_workers)
+        ctx.metrics.extra["broadcast_bytes"] = float(bcast.total_bytes)
+        ctx.data["broadcast_time"] = bcast.time_model(cm.local_byte_cost)
+
+        if cfg.cell_assignment == "lpt":
+            replicated = getattr(assigner, "replicated", None)
+            costs = adaptive_lpt_costs(grid, stats, pair_types, replicated)
+            partitioner = lpt_partitioner(costs, cfg.num_workers)
+        elif cfg.cell_assignment == "hash":
+            partitioner = HashPartitioner(cfg.resolved_partitions())
+        else:
+            raise ValueError(f"unknown cell assignment {cfg.cell_assignment!r}")
+
+        ctx.data["grid"] = grid
+        ctx.data["assigner"] = assigner
+        ctx.data["partitioner"] = partitioner
+
+
+class _AssignStage(Stage):
+    """Flat-map every point to its assigned cells (Algorithms 2-4)."""
+
+    name = "assign"
+    phase = "map_shuffle"
+
+    def __init__(self, r: PointSet, s: PointSet):
+        self.r = r
+        self.s = s
+
+    def run(self, ctx: JoinContext) -> None:
+        assigner = ctx.data["assigner"]
+        records = []
+        for side, ps in ((Side.R, self.r), (Side.S, self.s)):
+            cells, idxs = assigner.assign_batch(ps.xs, ps.ys, side)
+            records.append(
+                SideRecords(side, cells, idxs, len(ps), KEY_BYTES + ps.record_bytes)
+            )
+        ctx.data["records"] = records
+        ctx.data["side_arrays"] = {
+            Side.R: (self.r.ids, self.r.xs, self.r.ys),
+            Side.S: (self.s.ids, self.s.xs, self.s.ys),
+        }
+
+
+class _OriginsStage(Stage):
+    """Anchor each joinable cell's eps-grid at its MBR origin.
+
+    Bucket boundaries -- and hence candidate counts -- become independent
+    of which input is R and of the points (natives or replicas) actually
+    present in the cell.
+    """
+
+    name = "origins"
+    phase = "join"
+
+    def run(self, ctx: JoinContext) -> None:
+        grid: Grid = ctx.data["grid"]
+        groups = ctx.data["groups_by_side"]
+        r_groups, s_groups = groups[Side.R], groups[Side.S]
+        origins = {}
+        for cell in r_groups:
+            if cell in s_groups:
+                cx, cy = grid.cell_pos(cell)
+                origins[cell] = (
+                    grid.mbr.xmin + cx * grid.cell_w,
+                    grid.mbr.ymin + cy * grid.cell_h,
+                )
+        ctx.data["origins"] = origins
 
 
 def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     """Execute a parallel epsilon-distance join on the simulated cluster."""
     if cfg.eps <= 0:
         raise ValueError("eps must be positive")
-    fault_plan = (
-        FaultPlan.parse(cfg.faults) if isinstance(cfg.faults, str) else cfg.faults
-    )
-    if fault_plan is not None and not fault_plan:
-        fault_plan = None
-    spill_cfg = cfg.spill_config()
-    store: BlockStore | None = None
-    checkpoints: CheckpointManager | None = None
-    if spill_cfg.enabled:
-        store = BlockStore(
-            spill_cfg.tier, spill_cfg.spill_dir, spill_cfg.memory_limit_bytes
-        )
-        if spill_cfg.checkpoint_cells:
-            ckpt_dir = (
-                os.path.join(spill_cfg.spill_dir, "checkpoints")
-                if spill_cfg.spill_dir is not None
-                else None
-            )
-            checkpoints = CheckpointManager(spill_cfg.tier, ckpt_dir)
-    try:
-        return _distance_join(r, s, cfg, fault_plan, store, checkpoints)
-    finally:
-        # spilled blocks and checkpoints are job-transient: release them
-        # even when the job aborts mid-spill (exhausted retry budget,
-        # simulated OOM, a fetch that keeps failing)
-        if checkpoints is not None:
-            checkpoints.close()
-        if store is not None:
-            store.close()
-
-
-def _distance_join(
-    r: PointSet,
-    s: PointSet,
-    cfg: JoinConfig,
-    fault_plan: FaultPlan | None,
-    store: BlockStore | None,
-    checkpoints: CheckpointManager | None,
-) -> JoinResult:
-    cm = cfg.cost_model
-    cluster = SimCluster(cfg.num_workers, cm)
-    num_partitions = cfg.resolved_partitions()
-    timer = PhaseTimer()
+    if not cfg.collect_pairs and not cfg.duplicate_free:
+        raise ValueError("the deduplicating variant requires collect_pairs")
     metrics = JoinMetrics(
         method=cfg.method,
         eps=cfg.eps,
         num_workers=cfg.num_workers,
-        num_partitions=num_partitions,
+        num_partitions=cfg.resolved_partitions(),
         input_r=len(r),
         input_s=len(s),
     )
-    shuffle = ShuffleStats()
-
-    # ------------------------------------------------------------------
-    # construction: grid, sampling, agreements, partitioner
-    # ------------------------------------------------------------------
-    timer.start("construction")
-    mbr = cfg.mbr or r.mbr().union(s.mbr())
-    factor = 1.0 if cfg.method == "eps_grid" else cfg.resolution_factor
-    grid = Grid(mbr, cfg.eps, factor)
-    metrics.grid_cells = grid.num_cells
-
-    needs_stats = cfg.method in ("lpib", "diff") or cfg.cell_assignment == "lpt"
-    stats = None
-    if needs_stats:
-        stats = GridStatistics(grid)
-        r_sample = bernoulli_sample(r, cfg.sample_rate, cfg.seed)
-        s_sample = bernoulli_sample(s, cfg.sample_rate, cfg.seed + 1)
-        stats.add_points(r_sample.xs, r_sample.ys, Side.R)
-        stats.add_points(s_sample.xs, s_sample.ys, Side.S)
-
-    assigner, pair_types = _build_assigner(grid, cfg, r, s, stats, metrics)
-
-    # Algorithm 5 broadcasts the grid (plus agreements) to every executor.
-    from repro.engine.broadcast import (
-        agreement_broadcast_bytes,
-        broadcast_cost,
-        grid_broadcast_bytes,
-    )
-
-    if isinstance(assigner, AdaptiveAssigner):
-        payload = agreement_broadcast_bytes(assigner.graph)
-    else:
-        payload = grid_broadcast_bytes(grid)
-    bcast = broadcast_cost(payload, cfg.num_workers)
-    metrics.extra["broadcast_bytes"] = float(bcast.total_bytes)
-
-    if cfg.cell_assignment == "lpt":
-        # The paper's LPT assigns cells to *workers* (Sect. 6.2): packing
-        # into many partitions and round-robining them onto workers would
-        # systematically stack each round's largest cell on worker 0.
-        replicated = getattr(assigner, "replicated", None)
-        costs = _lpt_costs(grid, stats, pair_types, replicated)
-        partitioner = ExplicitPartitioner(
-            lpt_assignment(costs, cfg.num_workers), cfg.num_workers
-        )
-    elif cfg.cell_assignment == "hash":
-        partitioner = HashPartitioner(num_partitions)
-    else:
-        raise ValueError(f"unknown cell assignment {cfg.cell_assignment!r}")
-
-    # ------------------------------------------------------------------
-    # map + shuffle (with exact volume accounting and modelled costs)
-    # ------------------------------------------------------------------
-    timer.start("map_shuffle")
-    per_side: dict[Side, dict[int, np.ndarray]] = {}
-    cell_worker: dict[int, int] = {}
-    worker_heap = np.zeros(cfg.num_workers)
-    # per-destination-worker shuffle-read totals, kept for fetch-failure
-    # recovery: a failed fetch re-reads the worker's whole input
-    read_cost_w = np.zeros(cfg.num_workers)
-    read_records_w = np.zeros(cfg.num_workers, dtype=np.int64)
-    read_bytes_w = np.zeros(cfg.num_workers, dtype=np.int64)
-    for side, ps in ((Side.R, r), (Side.S, s)):
-        cells, idxs = assigner.assign_batch(ps.xs, ps.ys, side)
-        replicated = len(cells) - len(ps)
-        if side is Side.R:
-            metrics.replicated_r = replicated
-        else:
-            metrics.replicated_s = replicated
-
-        n = len(ps)
-        # Input splits are contiguous chunks spread round-robin on workers.
-        src_workers = np.minimum(
-            (idxs * cfg.num_workers) // max(n, 1), cfg.num_workers - 1
-        )
-        parts = partitioner.of_array(cells)
-        dst_workers = parts % cfg.num_workers
-        record = KEY_BYTES + ps.record_bytes
-        shuffle.add_transfers(src_workers, dst_workers, record)
-        if store is not None:
-            # spill this side's map output as addressable blocks, one per
-            # (source worker, destination worker) edge of the shuffle
-            _spill_side_blocks(
-                store,
-                side.value,
-                cells,
-                idxs,
-                src_workers,
-                dst_workers,
-                record,
-                cfg.num_workers,
-            )
-
-        # modelled costs: mapping on source workers, reading on destination
-        map_counts = np.bincount(
-            np.minimum(
-                (np.arange(n, dtype=np.int64) * cfg.num_workers) // max(n, 1),
-                cfg.num_workers - 1,
-            ),
-            minlength=cfg.num_workers,
-        )
-        for w, count in enumerate(map_counts):
-            cluster.add_cost(w, "map", float(count) * cm.map_tuple_cost)
-        remote = src_workers != dst_workers
-        read_cost = np.where(
-            remote,
-            record * cm.remote_byte_cost + cm.reduce_record_cost,
-            record * cm.local_byte_cost + cm.reduce_record_cost,
-        )
-        for w in range(cfg.num_workers):
-            sel = dst_workers == w
-            if sel.any():
-                cost = float(read_cost[sel].sum())
-                cluster.add_cost(w, "shuffle_read", cost)
-                read_cost_w[w] += cost
-        dst_counts = np.bincount(dst_workers, minlength=cfg.num_workers)
-        read_records_w += dst_counts
-        read_bytes_w += dst_counts * record
-        worker_heap += dst_counts * record * cm.heap_expansion
-
-        groups = _group_slices(cells, idxs)
-        per_side[side] = groups
-        for cell in groups:
-            if cell not in cell_worker:
-                cell_worker[cell] = partitioner.of(cell) % cfg.num_workers
-
-    metrics.shuffle_records = shuffle.records
-    metrics.shuffle_bytes = shuffle.bytes
-    metrics.remote_records = shuffle.remote_records
-    metrics.remote_bytes = shuffle.remote_bytes
-
-    # ------------------------------------------------------------------
-    # injected shuffle-fetch failures.  Without the block store each
-    # failed fetch re-reads the worker's whole shuffle input (Spark's
-    # FetchFailedException retry); with it, a failure loses only one
-    # source executor's map output and recovery pulls just those blocks.
-    # The data itself is intact either way, so only clocks/volumes move.
-    # ------------------------------------------------------------------
-    fetch_retries = 0
-    if fault_plan is not None:
-        for w in range(cfg.num_workers):
-            if read_records_w[w] == 0:
-                continue
-            attempt = 0
-            while fault_plan.decide("fetch", w, attempt) is not None:
-                if attempt >= cfg.max_retries:
-                    raise ShuffleFetchError(w, attempt + 1)
-                if store is not None:
-                    _refetch_blocks(store, cluster, shuffle, w, attempt, cm)
-                else:
-                    cluster.add_cost(w, "fetch_retry", read_cost_w[w])
-                    shuffle.add_refetch(int(read_records_w[w]), int(read_bytes_w[w]))
-                fetch_retries += 1
-                attempt += 1
-        metrics.extra["fetch_retries"] = float(fetch_retries)
-        metrics.extra["refetch_bytes"] = float(shuffle.refetch_bytes)
-    metrics.blocks_refetched = shuffle.refetch_blocks
-    if store is not None:
-        metrics.blocks_spilled = store.blocks_spilled
-        metrics.extra["spilled_bytes"] = float(store.spilled_bytes)
-        if store.evictions:
-            metrics.extra["spill_evictions"] = float(store.evictions)
-        if store.blocks_dropped:
-            metrics.extra["spill_blocks_dropped"] = float(store.blocks_dropped)
-
-    metrics.extra["peak_worker_heap_bytes"] = float(worker_heap.max())
-    if cfg.memory_limit_bytes is not None:
-        hottest = int(worker_heap.argmax())
-        if worker_heap[hottest] > cfg.memory_limit_bytes:
-            raise SimulatedOOMError(
-                hottest, float(worker_heap[hottest]), cfg.memory_limit_bytes
-            )
-    metrics.construction_time_model = (
-        cluster.phase_makespan("map")
-        + cluster.phase_makespan("shuffle_read")
-        # failed fetches re-read shuffle data before the join can start,
-        # so they stretch the construction makespan: whole partitions
-        # without the block store, only the missing blocks with it
-        + cluster.phase_makespan("fetch_retry")
-        + cluster.phase_makespan("block_refetch")
-        # broadcast is a bulk (torrent-style) transfer, not a per-record
-        # shuffle read: charge it at the bulk byte rate
-        + bcast.time_model(cm.local_byte_cost)
-        + cm.job_overhead
-    )
-
-    # ------------------------------------------------------------------
-    # local joins + refinement
-    # ------------------------------------------------------------------
-    timer.start("join")
-    if not cfg.collect_pairs and not cfg.duplicate_free:
-        raise ValueError("the deduplicating variant requires collect_pairs")
-    LOCAL_KERNELS[cfg.local_kernel]  # fail fast on an unknown kernel
-    if cfg.execution_backend not in BACKENDS:
-        raise ValueError(
-            f"unknown execution backend {cfg.execution_backend!r}; "
-            f"choose from {BACKENDS}"
-        )
-    r_groups, s_groups = per_side[Side.R], per_side[Side.S]
-    # anchor each cell's eps-grid at its MBR origin: bucket boundaries --
-    # and hence candidate counts -- become independent of which input is R
-    # and of the points (natives or replicas) actually present in the cell
-    origins = {}
-    for cell in r_groups:
-        if cell in s_groups:
-            cx, cy = grid.cell_pos(cell)
-            origins[cell] = (
-                grid.mbr.xmin + cx * grid.cell_w,
-                grid.mbr.ymin + cy * grid.cell_h,
-            )
-    plan = build_execution_plan(
-        (r.ids, r.xs, r.ys),
-        (s.ids, s.xs, s.ys),
-        r_groups,
-        s_groups,
-        cell_worker,
-        origins,
-    )
-    report = execute_plan(
-        plan,
-        cfg.local_kernel,
-        cfg.eps,
-        backend=cfg.execution_backend,
-        max_workers=cfg.executor_workers,
-        faults=fault_plan,
-        retry=RetryPolicy(
-            max_retries=cfg.max_retries,
-            backoff_base=cfg.retry_backoff,
-            task_timeout=cfg.task_timeout,
-            speculative=cfg.speculative,
-            degrade=cfg.degrade,
-        ),
-        checkpoints=checkpoints,
-    )
-    pair_counts = np.array([len(rid) for rid in report.pair_r], dtype=np.int64)
-    result_count = int(pair_counts.sum())
-    cost_pos = (
-        report.candidates.astype(np.float64) * cm.compare_cost
-        + pair_counts.astype(np.float64) * cm.emit_cost
-    )
-    for pos in range(plan.num_cells):
-        cluster.add_cost(int(plan.workers[pos]), "join", float(cost_pos[pos]))
-    for worker_id, seconds in report.worker_wall.items():
-        cluster.record_wall(worker_id, "join", seconds)
-
-    # recovery on the modelled clocks: every re-submitted cell recomputes
-    # its lineage from the shuffled inputs (without checkpoints a retried
-    # task re-submits its whole group, reproducing the classic
-    # ``(attempts - 1) x group cost`` charge); cells a retry salvaged from
-    # checkpoints skip the recompute and the avoided cost lands on the
-    # informational salvage clock.  Injected straggler delays stall their
-    # worker either way.
-    for pos in np.flatnonzero(report.resubmit_counts):
-        cluster.add_cost(
-            int(plan.workers[pos]),
-            "recovery",
-            float(report.resubmit_counts[pos]) * float(cost_pos[pos]),
-        )
-    for pos in np.flatnonzero(report.salvage_counts):
-        cluster.add_cost(
-            int(plan.workers[pos]),
-            SALVAGE_PHASE,
-            float(report.salvage_counts[pos]) * float(cost_pos[pos]),
-        )
-    for event in report.fault_events:
-        if event.kind == "straggler":
-            cluster.add_cost(event.worker, "recovery", event.seconds)
-
-    if cfg.collect_pairs and result_count:
-        r_ids = np.concatenate(report.pair_r)
-        s_ids = np.concatenate(report.pair_s)
-        src = np.repeat(plan.workers, pair_counts)
-    else:
-        r_ids = np.empty(0, dtype=np.int64)
-        s_ids = np.empty(0, dtype=np.int64)
-        src = np.empty(0, dtype=np.int64)
-    metrics.candidate_pairs = int(report.candidates.sum())
-    metrics.join_time_model = cluster.phase_makespan("join", "recovery")
-    metrics.worker_join_costs = cluster.phase_loads("join")
-    metrics.execution_backend = cfg.execution_backend
-    metrics.join_wall_makespan = report.wall_makespan
-    metrics.worker_join_wall = cluster.phase_wall_loads("join")
-    metrics.extra["join_wall_total"] = report.wall_total
-    metrics.extra["executor_os_workers"] = float(report.os_workers)
-
-    # fault-tolerance accounting
-    metrics.task_attempts = report.attempts
-    metrics.task_retries = report.retries
-    metrics.speculative_launched = report.speculative_launched
-    metrics.speculative_wins = report.speculative_wins
-    metrics.recovery_seconds = report.recovery_seconds
-    metrics.recovery_time_model = cluster.recovery_time()
-    metrics.cells_salvaged = report.cells_salvaged
-    metrics.salvaged_seconds = report.salvaged_wall_seconds
-    metrics.salvaged_time_model = cluster.salvaged_time()
-    metrics.fault_events = len(report.fault_events) + fetch_retries
-    if report.degraded:
-        metrics.fallback_backend = report.backend_used
-        metrics.extra["degraded_steps"] = float(len(report.degraded))
-    if report.pool_rebuilds:
-        metrics.extra["pool_rebuilds"] = float(report.pool_rebuilds)
-
-    # ------------------------------------------------------------------
-    # optional deduplication step (the Table 6 variant)
-    # ------------------------------------------------------------------
+    ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
+    stages: list[Stage] = [
+        _BuildPartitionStage(r, s),
+        _AssignStage(r, s),
+        ShuffleStage(),
+        ShuffleRecoveryStage(),
+        _OriginsStage(),
+        LocalJoinStage(cfg.local_kernel, cfg.eps),
+        CollectPairsStage(cfg.collect_pairs),
+        JoinAccountingStage(),
+    ]
     if not cfg.duplicate_free:
-        timer.start("dedup")
-        r_ids, s_ids, dedup_time = _distinct_pairs(
-            r_ids, s_ids, src, cluster, shuffle, num_partitions, cm
-        )
-        metrics.join_time_model += dedup_time
-        metrics.extra["dedup_time_model"] = dedup_time
-        metrics.shuffle_records = shuffle.records
-        metrics.shuffle_bytes = shuffle.bytes
-        metrics.remote_records = shuffle.remote_records
-        metrics.remote_bytes = shuffle.remote_bytes
-
-    timer.stop()
-    metrics.results = len(r_ids) if cfg.collect_pairs else result_count
-    metrics.wall_times = dict(timer.phases)
+        stages.append(DistinctStage(cfg.resolved_partitions()))
+    run_staged_join(stages, ctx)
+    r_ids, s_ids = ctx.data["r_ids"], ctx.data["s_ids"]
+    metrics.results = len(r_ids) if cfg.collect_pairs else ctx.data["result_count"]
     return JoinResult(r_ids, s_ids, metrics)
-
-
-#: Modelled serialized size of one result pair in the distinct shuffle.
-_PAIR_BYTES = 16
-#: Modelled cost of sort-based distinct per record (Spark's `distinct`
-#: repartitions, sorts and compares every result pair).
-_DISTINCT_RECORD_COST = 1.0e-6
-
-
-def _distinct_pairs(
-    r_ids: np.ndarray,
-    s_ids: np.ndarray,
-    src_workers: np.ndarray,
-    cluster: SimCluster,
-    shuffle: ShuffleStats,
-    num_partitions: int,
-    cm: CostModel,
-) -> tuple[np.ndarray, np.ndarray, float]:
-    """A parallel ``distinct`` over result pairs, with cost accounting.
-
-    Models the paper's post-join deduplication operator (Sect. 7.2.7):
-    every result pair is shuffled by its key so duplicates co-locate, then
-    each partition sorts/uniquifies its pairs.
-    """
-    from repro.joins.postprocess import pack_pair_keys, unpack_pair_keys
-
-    if len(r_ids) == 0:
-        return r_ids, s_ids, 0.0
-    key = pack_pair_keys(r_ids, s_ids)
-    parts = (key % num_partitions).astype(np.int64)
-    dst_workers = parts % cluster.num_workers
-    shuffle.add_transfers(src_workers, dst_workers, _PAIR_BYTES)
-    remote = src_workers != dst_workers
-    cost = np.where(
-        remote,
-        _PAIR_BYTES * cm.remote_byte_cost + _DISTINCT_RECORD_COST,
-        _PAIR_BYTES * cm.local_byte_cost + _DISTINCT_RECORD_COST,
-    )
-    for w in range(cluster.num_workers):
-        sel = dst_workers == w
-        if sel.any():
-            cluster.add_cost(w, "dedup", float(cost[sel].sum()))
-    uniq_r, uniq_s = unpack_pair_keys(np.unique(key))
-    return uniq_r, uniq_s, cluster.phase_makespan("dedup")
 
 
 def join_with_method(

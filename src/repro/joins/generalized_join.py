@@ -33,6 +33,15 @@ at the price of evaluating the ownership rule for every locally found
 pair -- per-result work the paper's scheme avoids by construction.  The
 modelled cost accounts for it, and ``bench_ext_generalized.py``
 quantifies the trade on the same workload.
+
+The driver composes the shared staged pipeline
+(:mod:`repro.joins.pipeline`): rectangulation + agreements are its
+construction stage, the replication loop its assign stage, and ownership
+reporting a post-kernel stage over the executor's per-leaf pairs -- a
+pure function of the kernel outputs, so it replays deterministically
+over retried, salvaged or speculative attempts.  Shuffle accounting,
+fault injection, spill, checkpointing and the executor backends are the
+shared stages.
 """
 
 from __future__ import annotations
@@ -43,15 +52,26 @@ import numpy as np
 
 from repro.data.pointset import PointSet
 from repro.data.sampling import bernoulli_sample
-from repro.engine.cluster import SimCluster
-from repro.engine.lpt import lpt_assignment
-from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
-from repro.engine.shuffle import KEY_BYTES, ShuffleStats
+from repro.engine.blockstore import SpillConfig
+from repro.engine.faults import FaultPlan
+from repro.engine.metrics import CostModel, JoinMetrics
+from repro.engine.shuffle import KEY_BYTES
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
 from repro.joins.distance_join import JoinResult
-from repro.joins.local import plane_sweep_join
+from repro.joins.pipeline import (
+    JoinAccountingStage,
+    JoinContext,
+    LocalJoinStage,
+    ShuffleRecoveryStage,
+    ShuffleStage,
+    SideRecords,
+    Stage,
+    lpt_partitioner,
+    make_context,
+    run_staged_join,
+)
 from repro.partitioning.rect_partition import (
     GridRectPartition,
     QuadtreeRectPartition,
@@ -80,6 +100,32 @@ class GeneralizedJoinConfig:
     seed: int = 0
     mbr: MBR | None = None
     cost_model: CostModel = field(default_factory=CostModel)
+    #: Execution surface shared with the point driver (see
+    #: :class:`repro.joins.pipeline.ExecutionSettings`): backend choice,
+    #: fault injection, retries, spill and cell checkpointing all apply
+    #: to the generalized join identically.
+    execution_backend: str = "serial"
+    executor_workers: int | None = None
+    faults: FaultPlan | str | None = None
+    max_retries: int = 2
+    task_timeout: float | None = None
+    speculative: bool = True
+    degrade: bool = True
+    retry_backoff: float = 0.01
+    spill: str = "none"
+    spill_dir: str | None = None
+    checkpoint_cells: bool = False
+    spill_memory_limit_bytes: int | None = None
+    memory_limit_bytes: int | None = None
+
+    def spill_config(self) -> SpillConfig:
+        """The validated block-store configuration for this job."""
+        return SpillConfig(
+            tier=self.spill,
+            spill_dir=self.spill_dir,
+            memory_limit_bytes=self.spill_memory_limit_bytes,
+            checkpoint_cells=self.checkpoint_cells,
+        )
 
 
 class _PartitionStats:
@@ -135,6 +181,169 @@ def _build_partition(cfg, mbr, r_sample, s_sample) -> RectPartition:
     raise ValueError(f"unknown partition {cfg.partition!r}; choose from {PARTITIONS}")
 
 
+class _RectangulationStage(Stage):
+    """Rectangulation, sample statistics, agreements, LPT placement."""
+
+    name = "rectangulation"
+    phase = "construction"
+
+    def __init__(self, r: PointSet, s: PointSet):
+        self.r = r
+        self.s = s
+
+    def run(self, ctx: JoinContext) -> None:
+        cfg: GeneralizedJoinConfig = ctx.cfg
+        r, s = self.r, self.s
+        mbr = cfg.mbr or r.mbr().union(s.mbr())
+        r_sample = bernoulli_sample(r, cfg.sample_rate, cfg.seed)
+        s_sample = bernoulli_sample(s, cfg.sample_rate, cfg.seed + 1)
+        part = _build_partition(cfg, mbr, r_sample, s_sample)
+        ctx.metrics.grid_cells = part.num_leaves
+        ctx.metrics.num_partitions = part.num_leaves
+
+        stats = _PartitionStats(part)
+        stats.add_sample(r_sample.xs, r_sample.ys, Side.R)
+        stats.add_sample(s_sample.xs, s_sample.ys, Side.S)
+        agreements = {
+            (a, b): stats.decide(cfg.method, a, b) for a, b in part.adjacent_pairs()
+        }
+
+        # leaf -> worker via LPT on estimated leaf cost; every leaf is
+        # placed, so the explicit partitioner is total over the leaf ids
+        costs = {
+            leaf: float(stats.totals[Side.R][leaf] * stats.totals[Side.S][leaf])
+            for leaf in range(part.num_leaves)
+        }
+        ctx.data["part"] = part
+        ctx.data["agreements"] = agreements
+        ctx.data["partitioner"] = lpt_partitioner(costs, cfg.num_workers)
+
+
+def _pair_type(agreements: dict, a: int, b: int) -> Side | None:
+    return agreements[(min(a, b), max(a, b))]
+
+
+class _ReplicationStage(Stage):
+    """Assign every point its native leaf plus the agreed replicas."""
+
+    name = "assign"
+    phase = "map_shuffle"
+
+    def __init__(self, r: PointSet, s: PointSet):
+        self.r = r
+        self.s = s
+
+    def run(self, ctx: JoinContext) -> None:
+        part: RectPartition = ctx.data["part"]
+        agreements = ctx.data["agreements"]
+        natives: dict[Side, np.ndarray] = {}
+        records = []
+        for side, ps in ((Side.R, self.r), (Side.S, self.s)):
+            n = len(ps)
+            native = np.fromiter(
+                (part.leaf_of(float(x), float(y)) for x, y in zip(ps.xs, ps.ys)),
+                dtype=np.int64,
+                count=n,
+            )
+            natives[side] = native
+            assignments_cells: list[int] = []
+            assignments_idx: list[int] = []
+            for i in range(n):
+                leaf = int(native[i])
+                assignments_cells.append(leaf)
+                assignments_idx.append(i)
+                x, y = float(ps.xs[i]), float(ps.ys[i])
+                for m in part.targets_within_eps(x, y, leaf):
+                    agreed = _pair_type(agreements, leaf, m)
+                    if agreed is None or agreed == side:
+                        assignments_cells.append(m)
+                        assignments_idx.append(i)
+            cells = np.asarray(assignments_cells, dtype=np.int64)
+            idxs = np.asarray(assignments_idx, dtype=np.int64)
+            records.append(
+                SideRecords(side, cells, idxs, n, KEY_BYTES + ps.record_bytes)
+            )
+        ctx.data["natives"] = natives
+        ctx.data["records"] = records
+        ctx.data["side_arrays"] = {
+            Side.R: (np.arange(len(self.r), dtype=np.int64), self.r.xs, self.r.ys),
+            Side.S: (np.arange(len(self.s), dtype=np.int64), self.s.xs, self.s.ys),
+        }
+
+
+class _OwnershipStage(Stage):
+    """Keep each leaf's *owned* pairs; price candidates and ownership.
+
+    Ownership is a pure function of the kernel's index pairs (natives
+    plus agreements, or the clone join's midpoint leaf), so it runs
+    driver-side after the executor and replays identically over retried
+    or salvaged attempts.
+    """
+
+    name = "ownership"
+    phase = "join"
+
+    def __init__(self, r: PointSet, s: PointSet):
+        self.r = r
+        self.s = s
+
+    def run(self, ctx: JoinContext) -> None:
+        cfg: GeneralizedJoinConfig = ctx.cfg
+        cm = ctx.cost_model
+        r, s = self.r, self.s
+        part: RectPartition = ctx.data["part"]
+        agreements = ctx.data["agreements"]
+        natives = ctx.data["natives"]
+        plan = ctx.data["plan"]
+        report = ctx.data["report"]
+        cost_pos = np.zeros(plan.num_cells, dtype=np.float64)
+        out_r: list[np.ndarray] = []
+        out_s: list[np.ndarray] = []
+        for pos in range(plan.num_cells):
+            leaf = int(plan.cells[pos])
+            candidates = int(report.candidates[pos])
+            ri = report.pair_r[pos]
+            sj = report.pair_s[pos]
+            if len(ri) == 0:
+                cost_pos[pos] = candidates * cm.compare_cost
+                continue
+            if cfg.method == "clone":
+                # clone join: the leaf holding the pair's midpoint reports
+                mx = (r.xs[ri] + s.xs[sj]) / 2.0
+                my = (r.ys[ri] + s.ys[sj]) / 2.0
+                owner = np.fromiter(
+                    (part.leaf_of(float(x), float(y)) for x, y in zip(mx, my)),
+                    dtype=np.int64,
+                    count=len(ri),
+                )
+            else:
+                # ownership: the common native leaf, or the agreement's
+                # destination leaf
+                na = natives[Side.R][ri]
+                nb = natives[Side.S][sj]
+                owner = np.where(na == nb, na, -1)
+                for k in np.nonzero(owner < 0)[0]:
+                    a, b = int(na[k]), int(nb[k])
+                    owner[k] = b if _pair_type(agreements, a, b) == Side.R else a
+            mine = owner == leaf
+            kept = int(np.count_nonzero(mine))
+            cost_pos[pos] = (
+                candidates * cm.compare_cost
+                + len(ri) * cm.compare_cost  # ownership evaluation per pair
+                + kept * cm.emit_cost
+            )
+            if kept:
+                out_r.append(r.ids[ri[mine]])
+                out_s.append(s.ids[sj[mine]])
+        ctx.data["cost_pos"] = cost_pos
+        ctx.data["r_ids"] = (
+            np.concatenate(out_r) if out_r else np.empty(0, dtype=np.int64)
+        )
+        ctx.data["s_ids"] = (
+            np.concatenate(out_s) if out_s else np.empty(0, dtype=np.int64)
+        )
+
+
 def generalized_distance_join(
     r: PointSet, s: PointSet, cfg: GeneralizedJoinConfig
 ) -> JoinResult:
@@ -143,10 +352,6 @@ def generalized_distance_join(
         raise ValueError("eps must be positive")
     if cfg.method not in METHODS:
         raise ValueError(f"unknown method {cfg.method!r}; choose from {METHODS}")
-    cm = cfg.cost_model
-    cluster = SimCluster(cfg.num_workers, cm)
-    shuffle = ShuffleStats()
-    timer = PhaseTimer()
     metrics = JoinMetrics(
         method=f"{cfg.partition}-{cfg.method}",
         eps=cfg.eps,
@@ -154,170 +359,17 @@ def generalized_distance_join(
         input_r=len(r),
         input_s=len(s),
     )
-
-    # ------------------------------------------------------------------
-    # construction: partition, statistics, agreements
-    # ------------------------------------------------------------------
-    timer.start("construction")
-    mbr = cfg.mbr or r.mbr().union(s.mbr())
-    r_sample = bernoulli_sample(r, cfg.sample_rate, cfg.seed)
-    s_sample = bernoulli_sample(s, cfg.sample_rate, cfg.seed + 1)
-    part = _build_partition(cfg, mbr, r_sample, s_sample)
-    metrics.grid_cells = part.num_leaves
-    metrics.num_partitions = part.num_leaves
-
-    stats = _PartitionStats(part)
-    stats.add_sample(r_sample.xs, r_sample.ys, Side.R)
-    stats.add_sample(s_sample.xs, s_sample.ys, Side.S)
-    agreements = {
-        (a, b): stats.decide(cfg.method, a, b) for a, b in part.adjacent_pairs()
-    }
-
-    def pair_type(a: int, b: int) -> Side:
-        return agreements[(min(a, b), max(a, b))]
-
-    # leaf -> worker via LPT on estimated leaf cost
-    costs = {
-        leaf: float(stats.totals[Side.R][leaf] * stats.totals[Side.S][leaf])
-        for leaf in range(part.num_leaves)
-    }
-    leaf_worker_map = lpt_assignment(costs, cfg.num_workers)
-
-    # ------------------------------------------------------------------
-    # map + shuffle on the partition
-    # ------------------------------------------------------------------
-    timer.start("map_shuffle")
-    natives: dict[Side, np.ndarray] = {}
-    per_leaf: dict[Side, dict[int, list[int]]] = {Side.R: {}, Side.S: {}}
-    for side, ps in ((Side.R, r), (Side.S, s)):
-        n = len(ps)
-        native = np.fromiter(
-            (part.leaf_of(float(x), float(y)) for x, y in zip(ps.xs, ps.ys)),
-            dtype=np.int64,
-            count=n,
-        )
-        natives[side] = native
-        assignments_cells: list[int] = []
-        assignments_idx: list[int] = []
-        for i in range(n):
-            leaf = int(native[i])
-            assignments_cells.append(leaf)
-            assignments_idx.append(i)
-            x, y = float(ps.xs[i]), float(ps.ys[i])
-            for m in part.targets_within_eps(x, y, leaf):
-                agreed = pair_type(leaf, m)
-                if agreed is None or agreed == side:
-                    assignments_cells.append(m)
-                    assignments_idx.append(i)
-        cells = np.asarray(assignments_cells, dtype=np.int64)
-        idxs = np.asarray(assignments_idx, dtype=np.int64)
-        replicated = len(cells) - n
-        if side is Side.R:
-            metrics.replicated_r = replicated
-        else:
-            metrics.replicated_s = replicated
-
-        src = np.minimum((idxs * cfg.num_workers) // max(n, 1), cfg.num_workers - 1)
-        dst = np.fromiter(
-            (leaf_worker_map[int(c)] for c in cells), dtype=np.int64, count=len(cells)
-        )
-        record = KEY_BYTES + ps.record_bytes
-        shuffle.add_transfers(src, dst, record)
-        remote = src != dst
-        cost = np.where(
-            remote,
-            record * cm.remote_byte_cost + cm.reduce_record_cost,
-            record * cm.local_byte_cost + cm.reduce_record_cost,
-        )
-        for w in range(cfg.num_workers):
-            sel = dst == w
-            if sel.any():
-                cluster.add_cost(w, "shuffle_read", float(cost[sel].sum()))
-        map_counts = np.bincount(
-            np.minimum(
-                (np.arange(n, dtype=np.int64) * cfg.num_workers) // max(n, 1),
-                cfg.num_workers - 1,
-            ),
-            minlength=cfg.num_workers,
-        )
-        for w, count in enumerate(map_counts):
-            cluster.add_cost(w, "map", float(count) * cm.map_tuple_cost)
-
-        groups = per_leaf[side]
-        for c, i in zip(cells.tolist(), idxs.tolist()):
-            groups.setdefault(c, []).append(i)
-
-    metrics.shuffle_records = shuffle.records
-    metrics.shuffle_bytes = shuffle.bytes
-    metrics.remote_records = shuffle.remote_records
-    metrics.remote_bytes = shuffle.remote_bytes
-    metrics.construction_time_model = (
-        cluster.phase_makespan("map")
-        + cluster.phase_makespan("shuffle_read")
-        + cm.job_overhead
-    )
-
-    # ------------------------------------------------------------------
-    # local joins + ownership reporting
-    # ------------------------------------------------------------------
-    timer.start("join")
-    eps = cfg.eps
-    out_r: list[np.ndarray] = []
-    out_s: list[np.ndarray] = []
-    candidates_total = 0
-    for leaf, r_idx_list in per_leaf[Side.R].items():
-        s_idx_list = per_leaf[Side.S].get(leaf)
-        if not s_idx_list:
-            continue
-        r_idx = np.asarray(r_idx_list, dtype=np.int64)
-        s_idx = np.asarray(s_idx_list, dtype=np.int64)
-        ri, sj, candidates = plane_sweep_join(
-            r_idx, r.xs[r_idx], r.ys[r_idx],
-            s_idx, s.xs[s_idx], s.ys[s_idx],
-            eps,
-        )
-        candidates_total += candidates
-        worker = leaf_worker_map[leaf]
-        if len(ri) == 0:
-            cluster.add_cost(worker, "join", candidates * cm.compare_cost)
-            continue
-        if cfg.method == "clone":
-            # clone join: the leaf holding the pair's midpoint reports it
-            mx = (r.xs[ri] + s.xs[sj]) / 2.0
-            my = (r.ys[ri] + s.ys[sj]) / 2.0
-            owner = np.fromiter(
-                (part.leaf_of(float(x), float(y)) for x, y in zip(mx, my)),
-                dtype=np.int64,
-                count=len(ri),
-            )
-        else:
-            # ownership: the common native leaf, or the agreement's
-            # destination leaf
-            na = natives[Side.R][ri]
-            nb = natives[Side.S][sj]
-            owner = np.where(na == nb, na, -1)
-            for k in np.nonzero(owner < 0)[0]:
-                a, b = int(na[k]), int(nb[k])
-                owner[k] = b if pair_type(a, b) == Side.R else a
-        mine = owner == leaf
-        kept = int(np.count_nonzero(mine))
-        cluster.add_cost(
-            worker,
-            "join",
-            candidates * cm.compare_cost
-            + len(ri) * cm.compare_cost  # ownership evaluation per found pair
-            + kept * cm.emit_cost,
-        )
-        if kept:
-            out_r.append(r.ids[ri[mine]])
-            out_s.append(s.ids[sj[mine]])
-
-    r_ids = np.concatenate(out_r) if out_r else np.empty(0, dtype=np.int64)
-    s_ids = np.concatenate(out_s) if out_s else np.empty(0, dtype=np.int64)
-    metrics.candidate_pairs = candidates_total
-    metrics.join_time_model = cluster.phase_makespan("join")
-    metrics.worker_join_costs = cluster.phase_loads("join")
+    ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
+    stages: list[Stage] = [
+        _RectangulationStage(r, s),
+        _ReplicationStage(r, s),
+        ShuffleStage(),
+        ShuffleRecoveryStage(),
+        LocalJoinStage("plane_sweep", cfg.eps),
+        _OwnershipStage(r, s),
+        JoinAccountingStage(),
+    ]
+    run_staged_join(stages, ctx)
+    r_ids, s_ids = ctx.data["r_ids"], ctx.data["s_ids"]
     metrics.results = len(r_ids)
-    timer.stop()
-    metrics.wall_times = dict(timer.phases)
     return JoinResult(r_ids, s_ids, metrics)

@@ -253,3 +253,13 @@ LOCAL_KERNELS = {
     "grid_hash": grid_hash_join,
     "rtree": rtree_join,
 }
+
+# Publish the kernels to the engine-owned registry the executor resolves
+# names against (repro.engine.kernels); the engine layer never imports
+# this module, so registration happens here, at import time of the layer
+# that defines the kernels.
+from repro.engine.kernels import register_kernel as _register_kernel
+
+for _name, _kernel in LOCAL_KERNELS.items():
+    _register_kernel(_name, _kernel)
+del _name, _kernel

@@ -21,6 +21,16 @@ run under every method (LPiB, DIFF, UNI(R), UNI(S), eps-grid).
 An intersection join is the ``eps = 0`` case: anchors join within
 ``max_radius_R + max_radius_S`` and candidates are refined with the exact
 intersection predicate (PBSM's original workload).
+
+The driver composes the shared staged pipeline
+(:mod:`repro.joins.pipeline`): the anchor sweep *is* the point
+plane-sweep kernel run at ``eps_eff`` over the anchor arrays, so the
+shuffle, fault injection, spill, checkpointing and executor backends all
+come from the shared stages; only the anchor reduction (construction),
+the per-object record sizes (assign) and the exact refinement (a
+post-kernel stage over the executor's candidate pairs) are specific to
+objects.  The refinement is a pure function of the kernel outputs, so it
+replays deterministically over retried, salvaged or speculative attempts.
 """
 
 from __future__ import annotations
@@ -30,22 +40,29 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.agreements.graph import AgreementGraph
-from repro.agreements.marking import generate_duplicate_free_graph
-from repro.agreements.policies import DiffPolicy, LPiBPolicy, instantiate_pair_types
-from repro.engine.cluster import SimCluster
-from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
-from repro.engine.partitioner import ExplicitPartitioner, HashPartitioner
-from repro.engine.lpt import lpt_assignment
-from repro.engine.shuffle import KEY_BYTES, ShuffleStats
+from repro.engine.blockstore import SpillConfig
+from repro.engine.faults import FaultPlan
+from repro.engine.metrics import CostModel, JoinMetrics
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.shuffle import KEY_BYTES
 from repro.geometry.mbr import MBR
 from repro.geometry.objects import SpatialObject, objects_intersect
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
 from repro.grid.statistics import GridStatistics
-from repro.joins.local import _expand_ranges
-from repro.replication.assign import AdaptiveAssigner
-from repro.replication.pbsm import UniversalAssigner
+from repro.joins.pipeline import (
+    JoinAccountingStage,
+    JoinContext,
+    LocalJoinStage,
+    ShuffleRecoveryStage,
+    ShuffleStage,
+    SideRecords,
+    Stage,
+    build_grid_assigner,
+    lpt_partitioner,
+    make_context,
+    run_staged_join,
+)
 
 
 class ObjectSet:
@@ -101,9 +118,35 @@ class ObjectJoinConfig:
     cell_assignment: str = "lpt"
     seed: int = 0
     cost_model: CostModel = field(default_factory=CostModel)
+    #: Execution surface shared with the point driver (see
+    #: :class:`repro.joins.pipeline.ExecutionSettings`): backend choice,
+    #: fault injection, retries, spill and cell checkpointing all apply
+    #: to the anchor join identically.
+    execution_backend: str = "serial"
+    executor_workers: int | None = None
+    faults: FaultPlan | str | None = None
+    max_retries: int = 2
+    task_timeout: float | None = None
+    speculative: bool = True
+    degrade: bool = True
+    retry_backoff: float = 0.01
+    spill: str = "none"
+    spill_dir: str | None = None
+    checkpoint_cells: bool = False
+    spill_memory_limit_bytes: int | None = None
+    memory_limit_bytes: int | None = None
 
     def resolved_partitions(self) -> int:
         return self.num_partitions or 8 * self.num_workers
+
+    def spill_config(self) -> SpillConfig:
+        """The validated block-store configuration for this job."""
+        return SpillConfig(
+            tier=self.spill,
+            spill_dir=self.spill_dir,
+            memory_limit_bytes=self.spill_memory_limit_bytes,
+            checkpoint_cells=self.checkpoint_cells,
+        )
 
 
 @dataclass
@@ -121,23 +164,6 @@ class ObjectJoinResult:
         return set(zip(self.r_ids.tolist(), self.s_ids.tolist()))
 
 
-def _build_assigner(grid, cfg, r, s, stats):
-    if cfg.method in ("lpib", "diff"):
-        policy = LPiBPolicy() if cfg.method == "lpib" else DiffPolicy()
-        pair_types = instantiate_pair_types(grid, stats, policy)
-        graph = AgreementGraph(grid, pair_types, stats)
-        generate_duplicate_free_graph(graph)
-        return AdaptiveAssigner(grid, graph), pair_types
-    if cfg.method == "uni_r":
-        return UniversalAssigner(grid, Side.R), None
-    if cfg.method == "uni_s":
-        return UniversalAssigner(grid, Side.S), None
-    if cfg.method == "eps_grid":
-        smaller = Side.R if len(r) <= len(s) else Side.S
-        return UniversalAssigner(grid, smaller), None
-    raise ValueError(f"unknown method {cfg.method!r}")
-
-
 def _anchor_stats(grid, r, s, rate, seed):
     stats = GridStatistics(grid)
     rng = np.random.default_rng(seed)
@@ -147,6 +173,149 @@ def _anchor_stats(grid, r, s, rate, seed):
             mask[:] = True
         stats.add_points(objs.ax[mask], objs.ay[mask], side)
     return stats
+
+
+class _AnchorReductionStage(Stage):
+    """Anchor grid, sample statistics, replication scheme, partitioner."""
+
+    name = "anchor_reduction"
+    phase = "construction"
+
+    def __init__(self, r: ObjectSet, s: ObjectSet, eps_eff: float):
+        self.r = r
+        self.s = s
+        self.eps_eff = eps_eff
+
+    def run(self, ctx: JoinContext) -> None:
+        cfg: ObjectJoinConfig = ctx.cfg
+        r, s = self.r, self.s
+        mbr = MBR(
+            min(float(r.ax.min()), float(s.ax.min())),
+            min(float(r.ay.min()), float(s.ay.min())),
+            max(float(r.ax.max()), float(s.ax.max())),
+            max(float(r.ay.max()), float(s.ay.max())),
+        )
+        grid = Grid(mbr, self.eps_eff)
+        ctx.metrics.grid_cells = grid.num_cells
+        stats = _anchor_stats(grid, r, s, cfg.sample_rate, cfg.seed)
+        assigner, _pair_types = build_grid_assigner(
+            grid,
+            cfg.method,
+            stats,
+            input_sizes=(len(r), len(s)),
+            metrics=ctx.metrics,
+        )
+        if cfg.cell_assignment == "lpt":
+            costs = {
+                cell: stats.estimated_cell_cost(cell)
+                for cell in range(grid.num_cells)
+                if stats.cell_count(cell, Side.R) and stats.cell_count(cell, Side.S)
+            }
+            partitioner = lpt_partitioner(costs, cfg.num_workers)
+        else:
+            partitioner = HashPartitioner(cfg.resolved_partitions())
+        ctx.data["assigner"] = assigner
+        ctx.data["partitioner"] = partitioner
+
+
+class _AnchorAssignStage(Stage):
+    """Flat-map every anchor to its cells; per-object record sizes.
+
+    Shuffle inputs carry each object's *index* as its id, so the
+    downstream kernel reports candidate pairs as index pairs the exact
+    refinement can resolve back to objects.
+    """
+
+    name = "assign"
+    phase = "map_shuffle"
+
+    def __init__(self, r: ObjectSet, s: ObjectSet):
+        self.r = r
+        self.s = s
+
+    def run(self, ctx: JoinContext) -> None:
+        assigner = ctx.data["assigner"]
+        records = []
+        for side, objs in ((Side.R, self.r), (Side.S, self.s)):
+            cells, idxs = assigner.assign_batch(objs.ax, objs.ay, side)
+            records.append(
+                SideRecords(side, cells, idxs, len(objs), objs.record_bytes[idxs])
+            )
+        ctx.data["records"] = records
+        ctx.data["side_arrays"] = {
+            Side.R: (np.arange(len(self.r), dtype=np.int64), self.r.ax, self.r.ay),
+            Side.S: (np.arange(len(self.s), dtype=np.int64), self.s.ax, self.s.ay),
+        }
+
+
+class _ExactRefineStage(Stage):
+    """MBR filter + exact predicate over the executor's candidate pairs.
+
+    The anchor sweep (the plane-sweep kernel at ``eps_eff``) already
+    gated candidates by anchor distance; this stage filters them by MBR
+    distance at the true ``eps`` and decides each survivor with the exact
+    (Python-object) predicate -- which is why it runs driver-side, after
+    the executor: the predicate closure and the objects it inspects are
+    not picklable, but the stage is a pure function of the kernel's index
+    pairs, so it replays identically over retried or salvaged attempts.
+    """
+
+    name = "exact_refine"
+    phase = "join"
+
+    def __init__(
+        self,
+        r: ObjectSet,
+        s: ObjectSet,
+        eps: float,
+        predicate: Callable[[SpatialObject, SpatialObject], bool],
+    ):
+        self.r = r
+        self.s = s
+        self.eps = eps
+        self.predicate = predicate
+
+    def run(self, ctx: JoinContext) -> None:
+        cm = ctx.cost_model
+        r, s, eps = self.r, self.s, self.eps
+        plan = ctx.data["plan"]
+        report = ctx.data["report"]
+        cost_pos = np.zeros(plan.num_cells, dtype=np.float64)
+        out_r: list[int] = []
+        out_s: list[int] = []
+        for pos in range(plan.num_cells):
+            candidates = int(report.candidates[pos])
+            if candidates == 0:
+                continue
+            ri = report.pair_r[pos]
+            sj = report.pair_s[pos]
+            # MBR filter at the true eps
+            mdx = np.maximum(
+                np.maximum(r.bxmin[ri] - s.bxmax[sj], s.bxmin[sj] - r.bxmax[ri]), 0.0
+            )
+            mdy = np.maximum(
+                np.maximum(r.bymin[ri] - s.bymax[sj], s.bymin[sj] - r.bymax[ri]), 0.0
+            )
+            near = mdx * mdx + mdy * mdy <= eps * eps
+            ri, sj = ri[near], sj[near]
+            # exact refinement
+            exact_checks = len(ri)
+            hits = 0
+            for i, j in zip(ri.tolist(), sj.tolist()):
+                if self.predicate(r.objects[i], s.objects[j]):
+                    out_r.append(r.objects[i].pid)
+                    out_s.append(s.objects[j].pid)
+                    hits += 1
+            # refinement on objects is an order of magnitude pricier than
+            # on points; charge ten comparisons per exact check
+            cost_pos[pos] = (
+                candidates * cm.compare_cost
+                + exact_checks * 10 * cm.compare_cost
+                + hits * cm.emit_cost
+            )
+        ctx.data["cost_pos"] = cost_pos
+        ctx.data["r_ids"] = np.asarray(out_r, dtype=np.int64)
+        ctx.data["s_ids"] = np.asarray(out_s, dtype=np.int64)
 
 
 def object_join(
@@ -168,181 +337,32 @@ def object_join(
         flipped = object_join(s, r, eps, lambda a, b: predicate(b, a), cfg)
         return ObjectJoinResult(flipped.s_ids, flipped.r_ids, flipped.metrics)
     cfg = cfg or ObjectJoinConfig()
-    cm = cfg.cost_model
-    cluster = SimCluster(cfg.num_workers, cm)
-    shuffle = ShuffleStats()
-    timer = PhaseTimer()
-    num_partitions = cfg.resolved_partitions()
-
-    timer.start("construction")
     eps_eff = eps + r.max_radius + s.max_radius
     if eps_eff <= 0:
         raise ValueError("degenerate join: eps and object radii are all zero")
-    mbr = MBR(
-        min(float(r.ax.min()), float(s.ax.min())),
-        min(float(r.ay.min()), float(s.ay.min())),
-        max(float(r.ax.max()), float(s.ax.max())),
-        max(float(r.ay.max()), float(s.ay.max())),
-    )
-    grid = Grid(mbr, eps_eff)
-    stats = _anchor_stats(grid, r, s, cfg.sample_rate, cfg.seed)
-    assigner, _pair_types = _build_assigner(grid, cfg, r, s, stats)
-
-    if cfg.cell_assignment == "lpt":
-        costs = {
-            cell: stats.estimated_cell_cost(cell)
-            for cell in range(grid.num_cells)
-            if stats.cell_count(cell, Side.R) and stats.cell_count(cell, Side.S)
-        }
-        partitioner = ExplicitPartitioner(
-            lpt_assignment(costs, cfg.num_workers), cfg.num_workers
-        )
-    else:
-        partitioner = HashPartitioner(num_partitions)
-
     metrics = JoinMetrics(
         method=f"object-{cfg.method}",
         eps=eps,
         num_workers=cfg.num_workers,
-        num_partitions=num_partitions,
-        grid_cells=grid.num_cells,
+        num_partitions=cfg.resolved_partitions(),
         input_r=len(r),
         input_s=len(s),
     )
-
-    # ------------------------------------------------------------------
-    # map + shuffle on anchors
-    # ------------------------------------------------------------------
-    timer.start("map_shuffle")
-    groups: dict[Side, dict[int, np.ndarray]] = {}
-    cell_worker: dict[int, int] = {}
-    for side, objs in ((Side.R, r), (Side.S, s)):
-        cells, idxs = assigner.assign_batch(objs.ax, objs.ay, side)
-        replicated = len(cells) - len(objs)
-        if side is Side.R:
-            metrics.replicated_r = replicated
-        else:
-            metrics.replicated_s = replicated
-        n = len(objs)
-        src = np.minimum((idxs * cfg.num_workers) // max(n, 1), cfg.num_workers - 1)
-        parts = partitioner.of_array(cells)
-        dst = parts % cfg.num_workers
-        sizes = objs.record_bytes[idxs]
-        shuffle.records += len(cells)
-        shuffle.bytes += int(sizes.sum())
-        remote = src != dst
-        shuffle.remote_records += int(np.count_nonzero(remote))
-        shuffle.remote_bytes += int(sizes[remote].sum())
-        for w in range(cfg.num_workers):
-            sel = dst == w
-            if sel.any():
-                cost = (
-                    np.where(remote[sel], cm.remote_byte_cost, cm.local_byte_cost)
-                    * sizes[sel]
-                ).sum() + sel.sum() * cm.reduce_record_cost
-                cluster.add_cost(w, "shuffle_read", float(cost))
-        map_counts = np.bincount(
-            np.minimum(
-                (np.arange(n, dtype=np.int64) * cfg.num_workers) // max(n, 1),
-                cfg.num_workers - 1,
-            ),
-            minlength=cfg.num_workers,
-        )
-        for w, count in enumerate(map_counts):
-            cluster.add_cost(w, "map", float(count) * cm.map_tuple_cost)
-
-        order = np.argsort(cells, kind="stable")
-        cells_sorted = cells[order]
-        idx_sorted = idxs[order]
-        uniq, starts = np.unique(cells_sorted, return_index=True)
-        bounds = np.append(starts, len(cells_sorted))
-        groups[side] = {
-            int(uniq[i]): idx_sorted[bounds[i] : bounds[i + 1]]
-            for i in range(len(uniq))
-        }
-        for cell in groups[side]:
-            if cell not in cell_worker:
-                cell_worker[cell] = partitioner.of(cell) % cfg.num_workers
-
-    metrics.shuffle_records = shuffle.records
-    metrics.shuffle_bytes = shuffle.bytes
-    metrics.remote_records = shuffle.remote_records
-    metrics.remote_bytes = shuffle.remote_bytes
-    metrics.construction_time_model = (
-        cluster.phase_makespan("map")
-        + cluster.phase_makespan("shuffle_read")
-        + cm.job_overhead
-    )
-
-    # ------------------------------------------------------------------
-    # local joins: anchor sweep -> MBR filter -> exact predicate
-    # ------------------------------------------------------------------
-    timer.start("join")
-    out_r: list[int] = []
-    out_s: list[int] = []
-    candidates_total = 0
-    for cell, r_idx in groups[Side.R].items():
-        s_idx = groups[Side.S].get(cell)
-        if s_idx is None:
-            continue
-        worker = cell_worker[cell]
-        # anchor plane sweep at eps_eff
-        order = np.argsort(s.ax[s_idx], kind="stable")
-        s_local = s_idx[order]
-        sx = s.ax[s_local]
-        lo = np.searchsorted(sx, r.ax[r_idx] - eps_eff, side="left")
-        hi = np.searchsorted(sx, r.ax[r_idx] + eps_eff, side="right")
-        anchors_i, windows_j = _expand_ranges(lo, hi)
-        candidates = len(anchors_i)
-        candidates_total += candidates
-        if candidates == 0:
-            cluster.add_cost(worker, "join", 0.0)
-            continue
-        ri = r_idx[anchors_i]
-        sj = s_local[windows_j]
-        # anchor-distance gate
-        dx = r.ax[ri] - s.ax[sj]
-        dy = r.ay[ri] - s.ay[sj]
-        gate = dx * dx + dy * dy <= eps_eff * eps_eff
-        ri, sj = ri[gate], sj[gate]
-        # MBR filter at the true eps
-        mdx = np.maximum(
-            np.maximum(r.bxmin[ri] - s.bxmax[sj], s.bxmin[sj] - r.bxmax[ri]), 0.0
-        )
-        mdy = np.maximum(
-            np.maximum(r.bymin[ri] - s.bymax[sj], s.bymin[sj] - r.bymax[ri]), 0.0
-        )
-        near = mdx * mdx + mdy * mdy <= eps * eps
-        ri, sj = ri[near], sj[near]
-        # exact refinement
-        exact_checks = len(ri)
-        hits = 0
-        for i, j in zip(ri.tolist(), sj.tolist()):
-            if predicate(r.objects[i], s.objects[j]):
-                out_r.append(r.objects[i].pid)
-                out_s.append(s.objects[j].pid)
-                hits += 1
-        # refinement on objects is an order of magnitude pricier than on
-        # points; charge ten comparisons per exact check
-        cluster.add_cost(
-            worker,
-            "join",
-            candidates * cm.compare_cost
-            + exact_checks * 10 * cm.compare_cost
-            + hits * cm.emit_cost,
-        )
-
-    metrics.candidate_pairs = candidates_total
-    metrics.join_time_model = cluster.phase_makespan("join")
-    metrics.worker_join_costs = cluster.phase_loads("join")
-    metrics.results = len(out_r)
-    timer.stop()
-    metrics.wall_times = dict(timer.phases)
-    return ObjectJoinResult(
-        np.asarray(out_r, dtype=np.int64),
-        np.asarray(out_s, dtype=np.int64),
-        metrics,
-    )
+    ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
+    stages: list[Stage] = [
+        _AnchorReductionStage(r, s, eps_eff),
+        _AnchorAssignStage(r, s),
+        ShuffleStage(),
+        ShuffleRecoveryStage(),
+        # the anchor sweep IS the point plane-sweep kernel at eps_eff
+        LocalJoinStage("plane_sweep", eps_eff),
+        _ExactRefineStage(r, s, eps, predicate),
+        JoinAccountingStage(),
+    ]
+    run_staged_join(stages, ctx)
+    r_ids, s_ids = ctx.data["r_ids"], ctx.data["s_ids"]
+    metrics.results = len(r_ids)
+    return ObjectJoinResult(r_ids, s_ids, metrics)
 
 
 def object_distance_join(

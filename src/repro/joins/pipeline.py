@@ -1,0 +1,940 @@
+"""The staged physical join plan shared by every driver.
+
+Each join driver in this package -- the point distance join, the object
+joins, the generalized (rectangulation) join and the literal RDD
+pipeline -- executes the same physical plan::
+
+    Sample -> BuildPartition/Agreements -> Assign -> Shuffle
+           -> LocalJoin -> Refine/Dedup
+
+This module makes that plan explicit.  A driver is a *stage list*: each
+:class:`Stage` is a small object that reads and writes a shared
+:class:`JoinContext` (inputs, outputs, per-stage accounting on the
+modelled :class:`~repro.engine.cluster.SimCluster` clocks and the
+measured :class:`~repro.engine.metrics.PhaseTimer`), and one generic
+driver, :func:`run_staged_join`, runs the list -- owning the phase
+timer, per-stage wall clocks (``JoinMetrics.stage_times``) and the
+lifecycle of the block store and checkpoint manager.
+
+The stages shared by every driver live here:
+
+* :class:`ShuffleStage` -- exact volume accounting, modelled map/read
+  costs, heap model, optional block-store spill, for both fixed-size
+  (point) and per-record-size (object) records;
+* :class:`ShuffleRecoveryStage` -- injected fetch-fault recovery (whole
+  partitions without the store, per-block with it), the simulated-OOM
+  guard, and the construction-makespan roll-up;
+* :class:`LocalJoinStage` -- packs the shuffled groups into an
+  :class:`~repro.engine.executor.ExecutionPlan` and runs it through the
+  fault-tolerant executor on any backend;
+* :class:`JoinAccountingStage` -- per-cell modelled join costs, measured
+  walls, recovery/salvage charging, and all fault-tolerance metrics;
+* :class:`DistinctStage` -- the parallel ``distinct`` over result pairs.
+
+Drivers contribute only what is genuinely theirs: the point driver its
+grid/agreement construction and origin anchoring, the object driver its
+anchor reduction and exact-predicate refinement, the generalized driver
+its rectangulation and ownership reporting, the RDD driver its literal
+``textFile/sample/flatMapToPair/join`` stages.
+
+Because stages replicate the legacy drivers' accounting order
+operation-for-operation, the refactor is *bit-exact*: result pair sets,
+shuffle volumes and modelled makespans are identical to the pre-refactor
+drivers (pinned by ``tests/golden/driver_goldens.json``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from dataclasses import fields as _dataclass_fields
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.agreements.graph import AgreementGraph
+from repro.agreements.marking import generate_duplicate_free_graph
+from repro.agreements.policies import (
+    DiffPolicy,
+    LPiBPolicy,
+    instantiate_pair_types,
+)
+from repro.engine.blockstore import (
+    BlockId,
+    BlockStore,
+    CheckpointManager,
+    SpillConfig,
+)
+from repro.engine.cluster import SALVAGE_PHASE, SimCluster
+from repro.engine.executor import (
+    BACKENDS,
+    RetryPolicy,
+    build_execution_plan,
+    execute_plan,
+)
+from repro.engine.faults import FaultPlan, ShuffleFetchError
+from repro.engine.kernels import get_kernel
+from repro.engine.lpt import lpt_assignment
+from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
+from repro.engine.partitioner import ExplicitPartitioner
+from repro.engine.shuffle import ShuffleStats
+from repro.geometry.point import Side
+from repro.grid.grid import Grid
+from repro.grid.statistics import GridStatistics
+from repro.replication.assign import AdaptiveAssigner
+from repro.replication.pbsm import UniversalAssigner
+
+#: Join methods implemented by the grid drivers (point and object).
+GRID_METHODS = ("lpib", "diff", "uni_r", "uni_s", "eps_grid")
+
+
+class SimulatedOOMError(MemoryError):
+    """A simulated executor exceeded its modelled heap.
+
+    Carries the offending worker and its modelled heap demand so
+    benchmarks can report the paper-style "did not finish" marker.
+    """
+
+    def __init__(self, worker: int, demand_bytes: float, limit_bytes: int):
+        self.worker = worker
+        self.demand_bytes = demand_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(
+            f"worker {worker} needs ~{demand_bytes / 1e6:.1f} MB heap "
+            f"(limit {limit_bytes / 1e6:.1f} MB)"
+        )
+
+
+# ----------------------------------------------------------------------
+# execution settings: the driver-independent slice of a join config
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """How a staged join actually executes, independent of *what* it joins.
+
+    Extracted from any driver config by :meth:`from_config` (field-name
+    match), so every driver exposes the same execution surface: backend
+    choice, fault injection, retry/speculation policy, shuffle spill and
+    cell checkpointing, and the simulated memory limit.
+    """
+
+    execution_backend: str = "serial"
+    executor_workers: int | None = None
+    faults: FaultPlan | str | None = None
+    max_retries: int = 2
+    task_timeout: float | None = None
+    speculative: bool = True
+    degrade: bool = True
+    retry_backoff: float = 0.01
+    spill: str = "none"
+    spill_dir: str | None = None
+    checkpoint_cells: bool = False
+    spill_memory_limit_bytes: int | None = None
+    memory_limit_bytes: int | None = None
+
+    @classmethod
+    def from_config(cls, cfg: Any) -> "ExecutionSettings":
+        """Collect the execution fields a driver config declares."""
+        kwargs = {
+            f.name: getattr(cfg, f.name)
+            for f in _dataclass_fields(cls)
+            if hasattr(cfg, f.name)
+        }
+        return cls(**kwargs)
+
+    def fault_plan(self) -> FaultPlan | None:
+        """The parsed, non-empty fault plan (``None`` disables injection)."""
+        plan = (
+            FaultPlan.parse(self.faults)
+            if isinstance(self.faults, str)
+            else self.faults
+        )
+        if plan is not None and not plan:
+            return None
+        return plan
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_base=self.retry_backoff,
+            task_timeout=self.task_timeout,
+            speculative=self.speculative,
+            degrade=self.degrade,
+        )
+
+    def spill_config(self) -> SpillConfig:
+        """The validated block-store configuration for this job."""
+        return SpillConfig(
+            tier=self.spill,
+            spill_dir=self.spill_dir,
+            memory_limit_bytes=self.spill_memory_limit_bytes,
+            checkpoint_cells=self.checkpoint_cells,
+        )
+
+
+@dataclass
+class JoinContext:
+    """Everything a stage may read or write while a staged join runs."""
+
+    cfg: Any
+    settings: ExecutionSettings
+    cluster: SimCluster
+    metrics: JoinMetrics
+    shuffle: ShuffleStats
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+    fault_plan: FaultPlan | None = None
+    store: BlockStore | None = None
+    checkpoints: CheckpointManager | None = None
+    #: Inter-stage dataflow: each stage documents the keys it reads and
+    #: writes (e.g. ``records``, ``groups_by_side``, ``plan``, ``report``).
+    data: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.cluster.cost_model
+
+    @property
+    def num_workers(self) -> int:
+        return self.cluster.num_workers
+
+
+def make_context(
+    cfg: Any,
+    *,
+    num_workers: int,
+    metrics: JoinMetrics,
+    cost_model: CostModel | None = None,
+) -> JoinContext:
+    """Build a :class:`JoinContext`: settings, cluster, store lifecycle.
+
+    Validates the execution backend and the fault spec up front, and
+    opens the block store / checkpoint manager when a spill tier is
+    configured; :func:`run_staged_join` closes them on every exit path.
+    """
+    settings = ExecutionSettings.from_config(cfg)
+    if settings.execution_backend not in BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {settings.execution_backend!r}; "
+            f"choose from {BACKENDS}"
+        )
+    fault_plan = settings.fault_plan()
+    cm = cost_model or getattr(cfg, "cost_model", None) or CostModel()
+    ctx = JoinContext(
+        cfg=cfg,
+        settings=settings,
+        cluster=SimCluster(num_workers, cm),
+        metrics=metrics,
+        shuffle=ShuffleStats(),
+        fault_plan=fault_plan,
+    )
+    spill_cfg = settings.spill_config()
+    if spill_cfg.enabled:
+        ctx.store = BlockStore(
+            spill_cfg.tier, spill_cfg.spill_dir, spill_cfg.memory_limit_bytes
+        )
+        try:
+            if spill_cfg.checkpoint_cells:
+                ckpt_dir = (
+                    os.path.join(spill_cfg.spill_dir, "checkpoints")
+                    if spill_cfg.spill_dir is not None
+                    else None
+                )
+                ctx.checkpoints = CheckpointManager(spill_cfg.tier, ckpt_dir)
+        except BaseException:
+            ctx.store.close()
+            ctx.store = None
+            raise
+    return ctx
+
+
+# ----------------------------------------------------------------------
+# the stage interface and the generic driver
+# ----------------------------------------------------------------------
+class Stage:
+    """One step of the staged join pipeline.
+
+    ``name`` keys the stage's wall-clock in ``JoinMetrics.stage_times``;
+    ``phase`` is the coarse job phase (``construction``, ``map_shuffle``,
+    ``join``, ``dedup``) its host seconds and modelled costs belong to.
+    ``run`` reads its inputs from and writes its outputs to the context's
+    ``data`` dict, charging modelled costs to ``ctx.cluster``.
+    """
+
+    name: str = "stage"
+    phase: str = "construction"
+
+    def run(self, ctx: JoinContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}/{self.phase}>"
+
+
+def run_staged_join(stages: list[Stage], ctx: JoinContext) -> JoinContext:
+    """Run a stage list to completion: the generic staged-join driver.
+
+    Owns the phase timer and the per-stage wall clocks, and guarantees
+    the block store and checkpoint manager are released on *every* exit
+    path -- including aborts mid-pipeline (exhausted retry budget,
+    simulated OOM, a fetch that keeps failing).
+    """
+    try:
+        for stage in stages:
+            ctx.timer.start(stage.phase)
+            started = time.perf_counter()
+            stage.run(ctx)
+            elapsed = time.perf_counter() - started
+            stage_times = ctx.metrics.stage_times
+            stage_times[stage.name] = stage_times.get(stage.name, 0.0) + elapsed
+        ctx.timer.stop()
+    finally:
+        # spilled blocks and checkpoints are job-transient: release them
+        # even when the job aborts mid-spill
+        if ctx.checkpoints is not None:
+            ctx.checkpoints.close()
+            ctx.checkpoints = None
+        if ctx.store is not None:
+            ctx.store.close()
+            ctx.store = None
+    ctx.metrics.wall_times = dict(ctx.timer.phases)
+    return ctx
+
+
+# ----------------------------------------------------------------------
+# shared construction helpers (single source of truth for the grid
+# drivers' replication schemes and LPT cell placement)
+# ----------------------------------------------------------------------
+def build_grid_assigner(
+    grid: Grid,
+    method: str,
+    stats: GridStatistics | None,
+    *,
+    input_sizes: tuple[int, int],
+    duplicate_free: bool = True,
+    marking_ordering: str = "paper",
+    metrics: JoinMetrics | None = None,
+):
+    """Instantiate the replication scheme a grid method requires.
+
+    Returns ``(assigner, pair_types)``; ``pair_types`` is only set for
+    the adaptive methods.  Agreement statistics (marked edges, mixed
+    triangles, per-side agreement counts) land in ``metrics.extra``.
+    """
+    if method in ("lpib", "diff"):
+        if stats is None:
+            raise ValueError("adaptive methods require sample statistics")
+        policy = LPiBPolicy() if method == "lpib" else DiffPolicy()
+        pair_types = instantiate_pair_types(grid, stats, policy)
+        graph = AgreementGraph(grid, pair_types, stats)
+        if duplicate_free:
+            report = generate_duplicate_free_graph(graph, marking_ordering)
+            if metrics is not None:
+                metrics.extra["marked_edges"] = report.marked_edges
+                metrics.extra["mixed_triangles"] = report.mixed_triangles
+        if metrics is not None:
+            counts = graph.agreement_counts()
+            metrics.extra["agreements_r"] = counts[Side.R]
+            metrics.extra["agreements_s"] = counts[Side.S]
+        return AdaptiveAssigner(grid, graph), pair_types
+    if method == "uni_r":
+        return UniversalAssigner(grid, Side.R), None
+    if method == "uni_s":
+        return UniversalAssigner(grid, Side.S), None
+    if method == "eps_grid":
+        len_r, len_s = input_sizes
+        smaller = Side.R if len_r <= len_s else Side.S
+        return UniversalAssigner(grid, smaller), None
+    raise ValueError(f"unknown method {method!r}; choose from {GRID_METHODS}")
+
+
+def adaptive_lpt_costs(
+    grid: Grid,
+    stats: GridStatistics,
+    pair_types: dict | None,
+    replicated: Side | None,
+) -> dict[int, float]:
+    """Estimated per-cell join cost for LPT (Sect. 6.2).
+
+    The paper's estimate is the product of the points of each input that
+    will *eventually* be in the cell -- natives plus expected replicas.
+    Replica inflow per border is read off the sample statistics, using the
+    agreement types (adaptive methods) or the universally replicated input
+    (PBSM baselines).
+    """
+    n = grid.num_cells
+    inflow = {Side.R: np.zeros(n), Side.S: np.zeros(n)}
+    for a, b, _kind in grid.adjacent_pairs():
+        if pair_types is not None:
+            sides: tuple[Side, ...] = (pair_types[frozenset((a, b))],)
+        else:
+            sides = (replicated,) if replicated is not None else ()
+        for side in sides:
+            inflow[side][b] += stats.directed_candidates(a, b, side)
+            inflow[side][a] += stats.directed_candidates(b, a, side)
+    costs: dict[int, float] = {}
+    for cell in range(n):
+        r_est = stats.cell_count(cell, Side.R) + inflow[Side.R][cell]
+        s_est = stats.cell_count(cell, Side.S) + inflow[Side.S][cell]
+        if r_est and s_est:
+            costs[cell] = float(r_est * s_est)
+    return costs
+
+
+def lpt_partitioner(costs: Mapping[int, float], num_workers: int) -> ExplicitPartitioner:
+    """LPT cell -> worker placement as a partitioner (Sect. 6.2).
+
+    The paper's LPT assigns cells to *workers*: packing into many
+    partitions and round-robining them onto workers would systematically
+    stack each round's largest cell on worker 0.
+    """
+    return ExplicitPartitioner(lpt_assignment(costs, num_workers), num_workers)
+
+
+def group_slices(cells: np.ndarray, point_idx: np.ndarray) -> dict[int, np.ndarray]:
+    """Sort assignments by cell; yield ``(cell_id, point_index_array)``."""
+    order = np.argsort(cells, kind="stable")
+    cells_sorted = cells[order]
+    idx_sorted = point_idx[order]
+    uniq, starts = np.unique(cells_sorted, return_index=True)
+    bounds = np.append(starts, len(cells_sorted))
+    return {
+        int(uniq[i]): idx_sorted[bounds[i] : bounds[i + 1]] for i in range(len(uniq))
+    }
+
+
+# ----------------------------------------------------------------------
+# shuffle: spill + accounting + fetch-fault recovery
+# ----------------------------------------------------------------------
+@dataclass
+class SideRecords:
+    """One side's shuffle input: cell assignments over the input arrays.
+
+    ``record_bytes`` is either one serialized size shared by every record
+    (points) or a per-record array of sizes paralleling ``cells``
+    (objects with extent).
+    """
+
+    side: Side
+    cells: np.ndarray
+    idxs: np.ndarray
+    count: int  # native input cardinality (before replication)
+    record_bytes: int | np.ndarray
+
+
+def spill_side_blocks(
+    store: BlockStore,
+    side: str,
+    cells: np.ndarray,
+    idxs: np.ndarray,
+    src_workers: np.ndarray,
+    dst_workers: np.ndarray,
+    record_bytes: int | np.ndarray,
+    num_workers: int,
+) -> None:
+    """Spill one side's map output, one block per shuffle edge.
+
+    Mirrors Spark's map-output files: each map executor writes one
+    addressable block per reduce destination, so a lost destination input
+    can later be healed per source instead of re-read wholesale.
+    """
+    if len(cells) == 0:
+        return
+    key = src_workers.astype(np.int64) * num_workers + dst_workers.astype(np.int64)
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    uniq, starts = np.unique(sorted_key, return_index=True)
+    bounds = np.append(starts, len(sorted_key))
+    sized = np.ndim(record_bytes) != 0
+    for i, k in enumerate(uniq):
+        sel = order[bounds[i] : bounds[i + 1]]
+        src, dst = divmod(int(k), num_workers)
+        logical = (
+            int(np.sum(record_bytes[sel])) if sized else len(sel) * record_bytes
+        )
+        store.put(
+            BlockId(side, src, dst),
+            {
+                "cells": np.ascontiguousarray(cells[sel]),
+                "points": np.ascontiguousarray(idxs[sel]),
+            },
+            records=len(sel),
+            logical_bytes=logical,
+        )
+
+
+def refetch_blocks(
+    store: BlockStore,
+    cluster: SimCluster,
+    shuffle: ShuffleStats,
+    dst: int,
+    attempt: int,
+    cm: CostModel,
+) -> int:
+    """Heal one failed fetch from the block store.
+
+    A fetch failure loses the map output of a single source executor
+    (Spark's ``FetchFailedException`` names one ``BlockManagerId``); which
+    source is lost is a deterministic function of the attempt so every run
+    replays identically.  Only that source's blocks are re-pulled --
+    served from the spill store at the local read rate -- instead of the
+    destination's whole shuffle input.
+    """
+    sources = store.sources_for(dst)
+    if not sources:  # pragma: no cover - read_records_w guards this
+        return 0
+    lost_src = sources[attempt % len(sources)]
+    refetched = 0
+    records = 0
+    logical = 0
+    cost = 0.0
+    for side in ("R", "S"):
+        meta, arrays = store.fetch(BlockId(side, lost_src, dst))
+        if meta is None:
+            continue  # this side sent nothing along that shuffle edge
+        if arrays is not None:
+            # served from the spilled block: local re-read
+            cost += meta.bytes * cm.local_byte_cost
+        else:
+            # the block was evicted and dropped: regenerate its records
+            # from the source split at the remote rate -- still only this
+            # block's share, never the whole input
+            cost += meta.bytes * cm.remote_byte_cost
+        cost += meta.records * cm.reduce_record_cost
+        records += meta.records
+        logical += meta.bytes
+        refetched += 1
+    cluster.add_cost(dst, "block_refetch", cost)
+    shuffle.add_refetch(records, logical, blocks=refetched)
+    return refetched
+
+
+class ShuffleStage(Stage):
+    """Route every record to its cell's worker, accounting exactly.
+
+    Reads ``records`` (a list of :class:`SideRecords`) and
+    ``partitioner``; writes ``groups_by_side``, ``cell_worker`` and the
+    per-destination read totals fetch recovery needs.  Charges the
+    modelled map and shuffle-read costs, spills map output as blocks when
+    a store is attached, and grows the modelled heap demand.
+    """
+
+    name = "shuffle"
+    phase = "map_shuffle"
+
+    def run(self, ctx: JoinContext) -> None:
+        W = ctx.num_workers
+        cm = ctx.cost_model
+        cluster = ctx.cluster
+        partitioner = ctx.data["partitioner"]
+        per_side: dict[Side, dict[int, np.ndarray]] = {}
+        cell_worker: dict[int, int] = {}
+        worker_heap = np.zeros(W)
+        # per-destination-worker shuffle-read totals, kept for
+        # fetch-failure recovery: a failed fetch re-reads the worker's
+        # whole input (or, with the store, only the missing blocks)
+        read_cost_w = np.zeros(W)
+        read_records_w = np.zeros(W, dtype=np.int64)
+        read_bytes_w = np.zeros(W, dtype=np.int64)
+        for rec in ctx.data["records"]:
+            cells, idxs, n = rec.cells, rec.idxs, rec.count
+            replicated = len(cells) - n
+            if rec.side is Side.R:
+                ctx.metrics.replicated_r = replicated
+            else:
+                ctx.metrics.replicated_s = replicated
+
+            # Input splits are contiguous chunks spread round-robin on
+            # workers.
+            src_workers = np.minimum((idxs * W) // max(n, 1), W - 1)
+            parts = partitioner.of_array(cells)
+            dst_workers = parts % W
+            record = rec.record_bytes
+            sized = np.ndim(record) != 0
+            ctx.shuffle.add_transfers(src_workers, dst_workers, record)
+            if ctx.store is not None:
+                # spill this side's map output as addressable blocks, one
+                # per (source worker, destination worker) shuffle edge
+                spill_side_blocks(
+                    ctx.store,
+                    rec.side.value,
+                    cells,
+                    idxs,
+                    src_workers,
+                    dst_workers,
+                    record,
+                    W,
+                )
+
+            # modelled costs: mapping on source workers, reading on
+            # destination workers
+            map_counts = np.bincount(
+                np.minimum((np.arange(n, dtype=np.int64) * W) // max(n, 1), W - 1),
+                minlength=W,
+            )
+            for w, count in enumerate(map_counts):
+                cluster.add_cost(w, "map", float(count) * cm.map_tuple_cost)
+            remote = src_workers != dst_workers
+            read_cost = np.where(
+                remote,
+                record * cm.remote_byte_cost + cm.reduce_record_cost,
+                record * cm.local_byte_cost + cm.reduce_record_cost,
+            )
+            for w in range(W):
+                sel = dst_workers == w
+                if sel.any():
+                    cost = float(read_cost[sel].sum())
+                    cluster.add_cost(w, "shuffle_read", cost)
+                    read_cost_w[w] += cost
+            dst_counts = np.bincount(dst_workers, minlength=W)
+            read_records_w += dst_counts
+            if sized:
+                side_bytes = np.bincount(
+                    dst_workers, weights=record.astype(np.float64), minlength=W
+                ).astype(np.int64)
+            else:
+                side_bytes = dst_counts * record
+            read_bytes_w += side_bytes
+            worker_heap += side_bytes * cm.heap_expansion
+
+            groups = group_slices(cells, idxs)
+            per_side[rec.side] = groups
+            for cell in groups:
+                if cell not in cell_worker:
+                    cell_worker[cell] = partitioner.of(cell) % W
+
+        ctx.data["groups_by_side"] = per_side
+        ctx.data["cell_worker"] = cell_worker
+        ctx.data["worker_heap"] = worker_heap
+        ctx.data["read_cost_w"] = read_cost_w
+        ctx.data["read_records_w"] = read_records_w
+        ctx.data["read_bytes_w"] = read_bytes_w
+
+        m = ctx.metrics
+        m.shuffle_records = ctx.shuffle.records
+        m.shuffle_bytes = ctx.shuffle.bytes
+        m.remote_records = ctx.shuffle.remote_records
+        m.remote_bytes = ctx.shuffle.remote_bytes
+
+
+class ShuffleRecoveryStage(Stage):
+    """Fetch-fault recovery, the OOM guard, and the construction roll-up.
+
+    Injected shuffle-fetch failures: without the block store each failed
+    fetch re-reads the worker's whole shuffle input (Spark's
+    FetchFailedException retry); with it, a failure loses only one source
+    executor's map output and recovery pulls just those blocks.  The data
+    itself is intact either way, so only clocks and volumes move.
+    """
+
+    name = "shuffle_recovery"
+    phase = "map_shuffle"
+
+    def run(self, ctx: JoinContext) -> None:
+        cm = ctx.cost_model
+        cluster = ctx.cluster
+        settings = ctx.settings
+        metrics = ctx.metrics
+        read_cost_w = ctx.data["read_cost_w"]
+        read_records_w = ctx.data["read_records_w"]
+        read_bytes_w = ctx.data["read_bytes_w"]
+
+        fetch_retries = 0
+        if ctx.fault_plan is not None:
+            for w in range(ctx.num_workers):
+                if read_records_w[w] == 0:
+                    continue
+                attempt = 0
+                while ctx.fault_plan.decide("fetch", w, attempt) is not None:
+                    if attempt >= settings.max_retries:
+                        raise ShuffleFetchError(w, attempt + 1)
+                    if ctx.store is not None:
+                        refetch_blocks(
+                            ctx.store, cluster, ctx.shuffle, w, attempt, cm
+                        )
+                    else:
+                        cluster.add_cost(w, "fetch_retry", read_cost_w[w])
+                        ctx.shuffle.add_refetch(
+                            int(read_records_w[w]), int(read_bytes_w[w])
+                        )
+                    fetch_retries += 1
+                    attempt += 1
+            metrics.extra["fetch_retries"] = float(fetch_retries)
+            metrics.extra["refetch_bytes"] = float(ctx.shuffle.refetch_bytes)
+        ctx.data["fetch_retries"] = fetch_retries
+        metrics.blocks_refetched = ctx.shuffle.refetch_blocks
+        if ctx.store is not None:
+            metrics.blocks_spilled = ctx.store.blocks_spilled
+            metrics.extra["spilled_bytes"] = float(ctx.store.spilled_bytes)
+            if ctx.store.evictions:
+                metrics.extra["spill_evictions"] = float(ctx.store.evictions)
+            if ctx.store.blocks_dropped:
+                metrics.extra["spill_blocks_dropped"] = float(
+                    ctx.store.blocks_dropped
+                )
+
+        worker_heap = ctx.data["worker_heap"]
+        metrics.extra["peak_worker_heap_bytes"] = float(worker_heap.max())
+        if settings.memory_limit_bytes is not None:
+            hottest = int(worker_heap.argmax())
+            if worker_heap[hottest] > settings.memory_limit_bytes:
+                raise SimulatedOOMError(
+                    hottest, float(worker_heap[hottest]), settings.memory_limit_bytes
+                )
+        metrics.construction_time_model = (
+            cluster.phase_makespan("map")
+            + cluster.phase_makespan("shuffle_read")
+            # failed fetches re-read shuffle data before the join can
+            # start, so they stretch the construction makespan: whole
+            # partitions without the block store, missing blocks with it
+            + cluster.phase_makespan("fetch_retry")
+            + cluster.phase_makespan("block_refetch")
+            # broadcast is a bulk (torrent-style) transfer, not a
+            # per-record shuffle read: charged at the bulk byte rate by
+            # the construction stage that performed it
+            + ctx.data.get("broadcast_time", 0.0)
+            + cm.job_overhead
+        )
+
+
+# ----------------------------------------------------------------------
+# local join through the fault-tolerant executor
+# ----------------------------------------------------------------------
+class LocalJoinStage(Stage):
+    """Run every joinable cell's kernel through the executor.
+
+    Reads ``groups_by_side``, ``cell_worker``, ``side_arrays`` (each
+    side's ``(ids, xs, ys)`` parallel arrays) and optionally ``origins``;
+    writes the packed ``plan`` and the executor's ``report``.  The
+    backend, fault plan, retry policy and checkpoint manager all come
+    from the context, so every driver composing this stage is fault
+    tolerant on every backend.
+    """
+
+    name = "local_join"
+    phase = "join"
+
+    def __init__(self, kernel_name: str, eps: float):
+        self.kernel_name = kernel_name
+        self.eps = eps
+
+    def run(self, ctx: JoinContext) -> None:
+        get_kernel(self.kernel_name)  # fail fast on an unknown kernel
+        groups = ctx.data["groups_by_side"]
+        side_arrays = ctx.data["side_arrays"]
+        plan = build_execution_plan(
+            side_arrays[Side.R],
+            side_arrays[Side.S],
+            groups[Side.R],
+            groups[Side.S],
+            ctx.data["cell_worker"],
+            ctx.data.get("origins"),
+        )
+        report = execute_plan(
+            plan,
+            self.kernel_name,
+            self.eps,
+            backend=ctx.settings.execution_backend,
+            max_workers=ctx.settings.executor_workers,
+            faults=ctx.fault_plan,
+            retry=ctx.settings.retry_policy(),
+            checkpoints=ctx.checkpoints,
+        )
+        ctx.data["plan"] = plan
+        ctx.data["report"] = report
+
+
+class JoinAccountingStage(Stage):
+    """Charge the join's modelled and measured clocks; report recovery.
+
+    Reads ``plan``, ``report`` and ``cost_pos`` (one modelled cost per
+    plan position, produced by the driver's refine/collect stage).
+    Every re-submitted cell recomputes its lineage from the shuffled
+    inputs (without checkpoints a retried task re-submits its whole
+    group, reproducing the classic ``(attempts - 1) x group cost``
+    charge); cells a retry salvaged from checkpoints skip the recompute
+    and the avoided cost lands on the informational salvage clock.
+    Injected straggler delays stall their worker either way.
+    """
+
+    name = "join_accounting"
+    phase = "join"
+
+    def run(self, ctx: JoinContext) -> None:
+        plan = ctx.data["plan"]
+        report = ctx.data["report"]
+        cost_pos = ctx.data["cost_pos"]
+        cluster = ctx.cluster
+        metrics = ctx.metrics
+
+        for pos in range(plan.num_cells):
+            cluster.add_cost(int(plan.workers[pos]), "join", float(cost_pos[pos]))
+        for worker_id, seconds in report.worker_wall.items():
+            cluster.record_wall(worker_id, "join", seconds)
+        for pos in np.flatnonzero(report.resubmit_counts):
+            cluster.add_cost(
+                int(plan.workers[pos]),
+                "recovery",
+                float(report.resubmit_counts[pos]) * float(cost_pos[pos]),
+            )
+        for pos in np.flatnonzero(report.salvage_counts):
+            cluster.add_cost(
+                int(plan.workers[pos]),
+                SALVAGE_PHASE,
+                float(report.salvage_counts[pos]) * float(cost_pos[pos]),
+            )
+        for event in report.fault_events:
+            if event.kind == "straggler":
+                cluster.add_cost(event.worker, "recovery", event.seconds)
+
+        metrics.candidate_pairs = int(report.candidates.sum())
+        metrics.join_time_model = cluster.phase_makespan("join", "recovery")
+        metrics.worker_join_costs = cluster.phase_loads("join")
+        metrics.execution_backend = ctx.settings.execution_backend
+        metrics.join_wall_makespan = report.wall_makespan
+        metrics.worker_join_wall = cluster.phase_wall_loads("join")
+        metrics.extra["join_wall_total"] = report.wall_total
+        metrics.extra["executor_os_workers"] = float(report.os_workers)
+
+        # fault-tolerance accounting
+        metrics.task_attempts = report.attempts
+        metrics.task_retries = report.retries
+        metrics.speculative_launched = report.speculative_launched
+        metrics.speculative_wins = report.speculative_wins
+        metrics.recovery_seconds = report.recovery_seconds
+        metrics.recovery_time_model = cluster.recovery_time()
+        metrics.cells_salvaged = report.cells_salvaged
+        metrics.salvaged_seconds = report.salvaged_wall_seconds
+        metrics.salvaged_time_model = cluster.salvaged_time()
+        metrics.fault_events = len(report.fault_events) + ctx.data.get(
+            "fetch_retries", 0
+        )
+        if report.degraded:
+            metrics.fallback_backend = report.backend_used
+            metrics.extra["degraded_steps"] = float(len(report.degraded))
+        if report.pool_rebuilds:
+            metrics.extra["pool_rebuilds"] = float(report.pool_rebuilds)
+
+
+# ----------------------------------------------------------------------
+# deduplication
+# ----------------------------------------------------------------------
+#: Modelled serialized size of one result pair in the distinct shuffle.
+PAIR_BYTES = 16
+#: Modelled cost of sort-based distinct per record (Spark's `distinct`
+#: repartitions, sorts and compares every result pair).
+DISTINCT_RECORD_COST = 1.0e-6
+
+
+def parallel_distinct(
+    r_ids: np.ndarray,
+    s_ids: np.ndarray,
+    src_workers: np.ndarray,
+    cluster: SimCluster,
+    shuffle: ShuffleStats,
+    num_partitions: int,
+    cm: CostModel,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """A parallel ``distinct`` over result pairs, with cost accounting.
+
+    Models the paper's post-join deduplication operator (Sect. 7.2.7):
+    every result pair is shuffled by its key so duplicates co-locate, then
+    each partition sorts/uniquifies its pairs.
+    """
+    from repro.joins.postprocess import pack_pair_keys, unpack_pair_keys
+
+    if len(r_ids) == 0:
+        return r_ids, s_ids, 0.0
+    key = pack_pair_keys(r_ids, s_ids)
+    parts = (key % num_partitions).astype(np.int64)
+    dst_workers = parts % cluster.num_workers
+    shuffle.add_transfers(src_workers, dst_workers, PAIR_BYTES)
+    remote = src_workers != dst_workers
+    cost = np.where(
+        remote,
+        PAIR_BYTES * cm.remote_byte_cost + DISTINCT_RECORD_COST,
+        PAIR_BYTES * cm.local_byte_cost + DISTINCT_RECORD_COST,
+    )
+    for w in range(cluster.num_workers):
+        sel = dst_workers == w
+        if sel.any():
+            cluster.add_cost(w, "dedup", float(cost[sel].sum()))
+    uniq_r, uniq_s = unpack_pair_keys(np.unique(key))
+    return uniq_r, uniq_s, cluster.phase_makespan("dedup")
+
+
+class DistinctStage(Stage):
+    """Parallel distinct over the collected pairs (the Table 6 variant).
+
+    Reads ``r_ids``/``s_ids``/``src_workers``; replaces the id arrays
+    with their unique pairs and folds the dedup makespan and refreshed
+    shuffle volumes into the metrics.
+    """
+
+    name = "distinct"
+    phase = "dedup"
+
+    def __init__(self, num_partitions: int):
+        self.num_partitions = num_partitions
+
+    def run(self, ctx: JoinContext) -> None:
+        d = ctx.data
+        r_ids, s_ids, dedup_time = parallel_distinct(
+            d["r_ids"],
+            d["s_ids"],
+            d["src_workers"],
+            ctx.cluster,
+            ctx.shuffle,
+            self.num_partitions,
+            ctx.cost_model,
+        )
+        d["r_ids"], d["s_ids"] = r_ids, s_ids
+        m = ctx.metrics
+        m.join_time_model += dedup_time
+        m.extra["dedup_time_model"] = dedup_time
+        m.shuffle_records = ctx.shuffle.records
+        m.shuffle_bytes = ctx.shuffle.bytes
+        m.remote_records = ctx.shuffle.remote_records
+        m.remote_bytes = ctx.shuffle.remote_bytes
+
+
+# ----------------------------------------------------------------------
+# generic collect stage shared by drivers that emit kernel pairs as-is
+# ----------------------------------------------------------------------
+class CollectPairsStage(Stage):
+    """Concatenate the kernel outputs and price each plan position.
+
+    Writes ``cost_pos`` (``candidates * compare + pairs * emit`` per
+    position), ``r_ids``/``s_ids``/``src_workers`` and ``result_count``.
+    ``collect_pairs=False`` counts results without materializing ids
+    (used by large benchmark sweeps).
+    """
+
+    name = "collect"
+    phase = "join"
+
+    def __init__(self, collect_pairs: bool = True):
+        self.collect_pairs = collect_pairs
+
+    def run(self, ctx: JoinContext) -> None:
+        plan = ctx.data["plan"]
+        report = ctx.data["report"]
+        cm = ctx.cost_model
+        pair_counts = np.array([len(rid) for rid in report.pair_r], dtype=np.int64)
+        result_count = int(pair_counts.sum())
+        ctx.data["cost_pos"] = (
+            report.candidates.astype(np.float64) * cm.compare_cost
+            + pair_counts.astype(np.float64) * cm.emit_cost
+        )
+        if self.collect_pairs and result_count:
+            r_ids = np.concatenate(report.pair_r)
+            s_ids = np.concatenate(report.pair_s)
+            src = np.repeat(plan.workers, pair_counts)
+        else:
+            r_ids = np.empty(0, dtype=np.int64)
+            s_ids = np.empty(0, dtype=np.int64)
+            src = np.empty(0, dtype=np.int64)
+        ctx.data["r_ids"] = r_ids
+        ctx.data["s_ids"] = s_ids
+        ctx.data["src_workers"] = src
+        ctx.data["result_count"] = result_count

@@ -12,9 +12,12 @@ This is the paper's program, statement for statement::
     pairRddS <- rddS.flatMapToPair(t -> tList(gBr.getIds(o, S)))
     p <- pairRddR.join(pairRddS).filter(d(r_i, s_j) <= eps)
 
-The vectorized driver (:mod:`repro.joins.distance_join`) performs the same
-computation at array speed; the test suite asserts both produce identical
-result sets.
+Each RDD statement is one :class:`~repro.joins.pipeline.Stage`, and the
+whole program runs through the same generic staged driver
+(:func:`~repro.joins.pipeline.run_staged_join`) as the vectorized
+drivers -- the stage list *is* Algorithm 5.  The vectorized driver
+(:mod:`repro.joins.distance_join`) performs the same computation at
+array speed; the test suite asserts both produce identical result sets.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.agreements.policies import (
 )
 from repro.data.io import parse_point_line
 from repro.engine.cluster import SimCluster
+from repro.engine.metrics import JoinMetrics
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.rdd import SimRDD
 from repro.engine.shuffle import ShuffleStats
@@ -39,6 +43,12 @@ from repro.geometry.mbr import MBR
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
 from repro.grid.statistics import GridStatistics
+from repro.joins.pipeline import (
+    ExecutionSettings,
+    JoinContext,
+    Stage,
+    run_staged_join,
+)
 from repro.replication.assign import AdaptiveAssigner
 from repro.replication.pbsm import UniversalAssigner
 
@@ -57,6 +67,151 @@ class SparkStyleResult:
     produced: int = 0
 
 
+@dataclass(frozen=True)
+class _SparkStyleConfig:
+    """The RDD pipeline's knobs (the ``spark_style_join`` parameters)."""
+
+    eps: float
+    method: str = "lpib"
+    sample_rate: float = 0.03
+    num_partitions: int = 96
+    seed: int = 0
+
+
+class _TextFileStage(Stage):
+    """``sc.textFile(path).map(line -> tup)`` for both inputs."""
+
+    name = "text_file"
+    phase = "construction"
+
+    def __init__(self, path_r: str, path_s: str):
+        self.path_r = path_r
+        self.path_s = path_s
+
+    def run(self, ctx: JoinContext) -> None:
+        ctx.data["rdd_r"] = SimRDD.text_file(ctx.cluster, self.path_r).map(
+            parse_point_line
+        )
+        ctx.data["rdd_s"] = SimRDD.text_file(ctx.cluster, self.path_s).map(
+            parse_point_line
+        )
+
+
+class _SampleStage(Stage):
+    """``rdd.sample(phi).forEach(grid.add)``: driver-held statistics."""
+
+    name = "sample"
+    phase = "construction"
+
+    def run(self, ctx: JoinContext) -> None:
+        cfg: _SparkStyleConfig = ctx.cfg
+        stats = GridStatistics(ctx.data["grid"])
+        sample_r = ctx.data["rdd_r"].sample(cfg.sample_rate, cfg.seed).collect()
+        sample_s = ctx.data["rdd_s"].sample(cfg.sample_rate, cfg.seed + 1).collect()
+        if sample_r:
+            arr = np.asarray(sample_r, dtype=np.float64)
+            stats.add_points(arr[:, 1], arr[:, 2], Side.R)
+        if sample_s:
+            arr = np.asarray(sample_s, dtype=np.float64)
+            stats.add_points(arr[:, 1], arr[:, 2], Side.S)
+        ctx.data["stats"] = stats
+
+
+class _BroadcastBuildStage(Stage):
+    """Agreement-based grid construction, then "broadcast" (shared obj)."""
+
+    name = "broadcast_build"
+    phase = "construction"
+
+    def run(self, ctx: JoinContext) -> None:
+        cfg: _SparkStyleConfig = ctx.cfg
+        grid = ctx.data["grid"]
+        stats = ctx.data["stats"]
+        method = cfg.method
+        if method in ("lpib", "diff"):
+            policy = LPiBPolicy() if method == "lpib" else DiffPolicy()
+            graph = AgreementGraph(
+                grid, instantiate_pair_types(grid, stats, policy), stats
+            )
+            generate_duplicate_free_graph(graph)
+            assigner = AdaptiveAssigner(grid, graph)
+        elif method in ("uni_r", "uni_s"):
+            side = Side.R if method == "uni_r" else Side.S
+            assigner = UniversalAssigner(grid, side)
+        elif method.startswith("uniform_policy_"):
+            side = Side.R if method.endswith("r") else Side.S
+            graph = AgreementGraph(
+                grid, instantiate_pair_types(grid, stats, UniformPolicy(side)), stats
+            )
+            generate_duplicate_free_graph(graph)
+            assigner = AdaptiveAssigner(grid, graph)
+        else:
+            raise ValueError(f"unsupported method {method!r}")
+        ctx.data["assigner"] = assigner
+
+
+class _FlatMapToPairStage(Stage):
+    """``rdd.flatMapToPair(t -> tList(gBr.getIds(o, side)))``."""
+
+    name = "flat_map_to_pair"
+    phase = "map_shuffle"
+
+    def run(self, ctx: JoinContext) -> None:
+        assigner = ctx.data["assigner"]
+
+        def assign_pairs(side: Side):
+            def fn(tup: tuple[int, float, float]):
+                pid, x, y = tup
+                return [(cell, tup) for cell in assigner.assign(x, y, side)]
+
+            return fn
+
+        ctx.data["pair_r"] = ctx.data["rdd_r"].flat_map_to_pair(assign_pairs(Side.R))
+        ctx.data["pair_s"] = ctx.data["rdd_s"].flat_map_to_pair(assign_pairs(Side.S))
+
+
+class _RDDJoinStage(Stage):
+    """``pairRddR.join(pairRddS).filter(d(r, s) <= eps)``."""
+
+    name = "rdd_join"
+    phase = "join"
+
+    def run(self, ctx: JoinContext) -> None:
+        cfg: _SparkStyleConfig = ctx.cfg
+        eps = cfg.eps
+        partitioner = HashPartitioner(cfg.num_partitions)
+        joined = ctx.data["pair_r"].join(
+            ctx.data["pair_s"], partitioner, ctx.shuffle
+        )
+        matched = joined.filter(
+            lambda kv: within_eps(
+                kv[1][0][1], kv[1][0][2], kv[1][1][1], kv[1][1][2], eps
+            )
+        )
+        ctx.data["produced"] = [
+            (rtup[0], stup[0]) for _cell, (rtup, stup) in matched.collect()
+        ]
+
+
+class _RDDDistinctStage(Stage):
+    """Vectorized duplicate elimination, shared with the array driver."""
+
+    name = "distinct"
+    phase = "dedup"
+
+    def run(self, ctx: JoinContext) -> None:
+        produced = ctx.data["produced"]
+        if produced:
+            from repro.joins.postprocess import distinct_pairs
+
+            arr = np.asarray(produced, dtype=np.int64)
+            uniq_r, uniq_s = distinct_pairs(arr[:, 0], arr[:, 1])
+            pairs = set(zip(uniq_r.tolist(), uniq_s.tolist()))
+        else:
+            pairs = set()
+        ctx.data["pairs"] = pairs
+
+
 def spark_style_join(
     path_r: str,
     path_s: str,
@@ -69,68 +224,35 @@ def spark_style_join(
     seed: int = 0,
 ) -> SparkStyleResult:
     """Run the epsilon-distance join exactly as Algorithm 5 stages it."""
-    grid = Grid(mbr, eps)
-    shuffle = ShuffleStats()
-    partitions = num_partitions or 8 * cluster.num_workers
-
-    rdd_r = SimRDD.text_file(cluster, path_r).map(parse_point_line)
-    rdd_s = SimRDD.text_file(cluster, path_s).map(parse_point_line)
-
-    # sampling feeds the grid statistics held on the "driver"
-    stats = GridStatistics(grid)
-    sample_r = rdd_r.sample(sample_rate, seed).collect()
-    sample_s = rdd_s.sample(sample_rate, seed + 1).collect()
-    if sample_r:
-        arr = np.asarray(sample_r, dtype=np.float64)
-        stats.add_points(arr[:, 1], arr[:, 2], Side.R)
-    if sample_s:
-        arr = np.asarray(sample_s, dtype=np.float64)
-        stats.add_points(arr[:, 1], arr[:, 2], Side.S)
-
-    # agreement-based grid construction, then "broadcast" (shared object)
-    if method in ("lpib", "diff"):
-        policy = LPiBPolicy() if method == "lpib" else DiffPolicy()
-        graph = AgreementGraph(grid, instantiate_pair_types(grid, stats, policy), stats)
-        generate_duplicate_free_graph(graph)
-        assigner = AdaptiveAssigner(grid, graph)
-    elif method in ("uni_r", "uni_s"):
-        side = Side.R if method == "uni_r" else Side.S
-        assigner = UniversalAssigner(grid, side)
-    elif method.startswith("uniform_policy_"):
-        side = Side.R if method.endswith("r") else Side.S
-        graph = AgreementGraph(
-            grid, instantiate_pair_types(grid, stats, UniformPolicy(side)), stats
-        )
-        generate_duplicate_free_graph(graph)
-        assigner = AdaptiveAssigner(grid, graph)
-    else:
-        raise ValueError(f"unsupported method {method!r}")
-
-    def assign_pairs(side: Side):
-        def fn(tup: tuple[int, float, float]):
-            pid, x, y = tup
-            return [(cell, tup) for cell in assigner.assign(x, y, side)]
-
-        return fn
-
-    pair_r = rdd_r.flat_map_to_pair(assign_pairs(Side.R))
-    pair_s = rdd_s.flat_map_to_pair(assign_pairs(Side.S))
-
-    partitioner = HashPartitioner(partitions)
-    joined = pair_r.join(pair_s, partitioner, shuffle)
-    matched = joined.filter(
-        lambda kv: within_eps(kv[1][0][1], kv[1][0][2], kv[1][1][1], kv[1][1][2], eps)
+    cfg = _SparkStyleConfig(
+        eps=eps,
+        method=method,
+        sample_rate=sample_rate,
+        num_partitions=num_partitions or 8 * cluster.num_workers,
+        seed=seed,
     )
-    produced = [(rtup[0], stup[0]) for _cell, (rtup, stup) in matched.collect()]
-    if produced:
-        # vectorized duplicate elimination, shared with the array driver
-        from repro.joins.postprocess import distinct_pairs
-
-        arr = np.asarray(produced, dtype=np.int64)
-        uniq_r, uniq_s = distinct_pairs(arr[:, 0], arr[:, 1])
-        pairs = set(zip(uniq_r.tolist(), uniq_s.tolist()))
-    else:
-        pairs = set()
+    ctx = JoinContext(
+        cfg=cfg,
+        settings=ExecutionSettings(),
+        cluster=cluster,
+        metrics=JoinMetrics(method=method, eps=eps, num_workers=cluster.num_workers),
+        shuffle=ShuffleStats(),
+    )
+    ctx.data["grid"] = Grid(mbr, eps)
+    run_staged_join(
+        [
+            _TextFileStage(path_r, path_s),
+            _SampleStage(),
+            _BroadcastBuildStage(),
+            _FlatMapToPairStage(),
+            _RDDJoinStage(),
+            _RDDDistinctStage(),
+        ],
+        ctx,
+    )
     return SparkStyleResult(
-        pairs=pairs, shuffle=shuffle, grid=grid, produced=len(produced)
+        pairs=ctx.data["pairs"],
+        shuffle=ctx.shuffle,
+        grid=ctx.data["grid"],
+        produced=len(ctx.data["produced"]),
     )

@@ -60,6 +60,100 @@ class TestJoin:
         assert not (tmp_path / "spill").exists()  # cleaned up on return
 
 
+class TestJoinVariants:
+    """`--join` selects the driver; every variant shares the execution
+    surface of the staged pipeline (backend, faults, spill)."""
+
+    def test_object_join_runs(self, capsys):
+        rc = main(["join", "--join", "object", "--base-n", "150",
+                   "--eps", "0.01", "--method", "lpib", "--workers", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "join=object" in out and "objects" in out
+        assert "results=" in out
+
+    def test_intersection_join_runs(self, capsys):
+        rc = main(["join", "--join", "intersection", "--base-n", "150",
+                   "--method", "uni_r", "--workers", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "join=intersection" in out
+        assert "plane_sweep" in out  # object joins sweep anchors
+
+    def test_generalized_join_runs(self, capsys):
+        rc = main(["join", "--join", "generalized", "--base-n", "400",
+                   "--eps", "0.02", "--method", "clone",
+                   "--partition", "quadtree", "--workers", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "join=generalized" in out
+        assert "results=" in out
+
+    def test_spark_style_join_runs(self, capsys):
+        rc = main(["join", "--join", "spark-style", "--base-n", "400",
+                   "--eps", "0.02", "--method", "lpib", "--workers", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "join=spark-style" in out
+        assert "produced before distinct" in out
+        assert "shuffle:" in out
+
+    def test_object_join_with_backend_faults_and_spill(self, tmp_path, capsys):
+        rc = main(["join", "--join", "object", "--base-n", "150",
+                   "--eps", "0.01", "--workers", "3",
+                   "--backend", "threads", "--faults", "kill:p=1:times=1",
+                   "--max-retries", "3", "--spill", "disk",
+                   "--spill-dir", str(tmp_path / "spill"),
+                   "--checkpoint-cells"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "local join [threads/plane_sweep]:" in out
+        assert "attempts=" in out
+        assert "block store [disk]:" in out
+        assert not (tmp_path / "spill").exists()  # cleaned up on return
+
+    def test_generalized_join_with_faults(self, capsys):
+        rc = main(["join", "--join", "generalized", "--base-n", "400",
+                   "--eps", "0.02", "--workers", "3", "--backend", "threads",
+                   "--faults", "fetch:p=1:times=1", "--max-retries", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault tolerance:" in out
+
+    def test_object_rejects_generalized_only_method(self, capsys):
+        rc = main(["join", "--join", "object", "--method", "clone"])
+        assert rc == 2
+        assert "supports methods" in capsys.readouterr().err
+
+    def test_object_rejects_non_sweep_kernel(self, capsys):
+        rc = main(["join", "--join", "object", "--kernel", "grid_hash"])
+        assert rc == 2
+        assert "plane_sweep" in capsys.readouterr().err
+
+    def test_spark_style_rejects_backend(self, capsys):
+        rc = main(["join", "--join", "spark-style", "--backend", "threads"])
+        assert rc == 2
+        assert "spark-style" in capsys.readouterr().err
+
+    def test_spark_style_rejects_faults(self, capsys):
+        rc = main(["join", "--join", "spark-style", "--faults", "kill"])
+        assert rc == 2
+        assert "fault injection" in capsys.readouterr().err
+
+    def test_spark_style_rejects_spill(self, capsys):
+        rc = main(["join", "--join", "spark-style", "--spill", "disk"])
+        assert rc == 2
+        assert "--spill" in capsys.readouterr().err
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--join", "bogus"])
+
+    def test_bad_partition_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--join", "generalized", "--partition", "rtree"])
+
+
 class TestJoinValidation:
     def test_zero_workers_rejected(self):
         with pytest.raises(SystemExit):

@@ -435,6 +435,84 @@ def test_block_refetch_bytes_strictly_lower(tmp_path, backend):
     assert no_store.blocks_refetched == 0
 
 
+# ----------------------------------------------------------------------
+# chaos beyond the point driver: the object and generalized joins share
+# the staged pipeline, so the same bit-identity guarantee must hold for
+# them -- including with the block store and cell checkpoints enabled
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+@pytest.mark.parametrize("fault", sorted(FAULT_SPECS))
+def test_chaos_object_join_bit_identical(tmp_path, fault):
+    from repro.data.object_generators import random_boxes
+    from repro.geometry.point import Side
+    from repro.joins.object_join import ObjectSet, object_distance_join
+
+    r = ObjectSet(random_boxes(180, Side.R, seed=11), "R")
+    s = ObjectSet(random_boxes(180, Side.S, seed=22), "S")
+    reference = object_distance_join(r, s, 0.01, num_workers=3)
+    assert len(reference) > 0
+    res = object_distance_join(
+        r, s, 0.01, num_workers=3,
+        execution_backend="threads", executor_workers=2,
+        faults=FAULT_SPECS[fault], max_retries=3,
+        spill="disk", spill_dir=str(tmp_path), checkpoint_cells=True,
+    )
+    assert res.pairs_set() == reference.pairs_set(), fault
+    m = res.metrics
+    assert m.fault_events > 0, "the injected fault never fired"
+    assert m.blocks_spilled > 0
+    if fault in ("kill", "kernel"):
+        # either the resubmit cost extra attempts or the checkpoints
+        # salvaged every cell the killed attempt had finished
+        assert (
+            m.task_retries > 0 or m.speculative_wins > 0
+            or m.cells_salvaged > 0
+        )
+    if fault == "fetch":
+        assert m.blocks_refetched > 0
+        assert m.extra["refetch_bytes"] > 0
+    assert list(tmp_path.iterdir()) == [], "spill dir not cleaned up"
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("fault", sorted(FAULT_SPECS))
+def test_chaos_generalized_join_bit_identical(tmp_path, fault):
+    from repro.data.generators import real_like
+    from repro.joins.generalized_join import (
+        GeneralizedJoinConfig,
+        generalized_distance_join,
+    )
+
+    r = gaussian_clusters(260, seed=101, name="R")
+    s = real_like(260, seed=11, name="S")
+    base = dict(eps=EPS, partition="quadtree", method="lpib", num_workers=3)
+    reference = generalized_distance_join(r, s, GeneralizedJoinConfig(**base))
+    assert len(reference) > 0
+    res = generalized_distance_join(
+        r, s,
+        GeneralizedJoinConfig(
+            **base, execution_backend="threads", executor_workers=2,
+            faults=FAULT_SPECS[fault], max_retries=3,
+            spill="disk", spill_dir=str(tmp_path), checkpoint_cells=True,
+        ),
+    )
+    assert res.pairs_set() == reference.pairs_set(), fault
+    m = res.metrics
+    assert m.fault_events > 0, "the injected fault never fired"
+    assert m.blocks_spilled > 0
+    if fault in ("kill", "kernel"):
+        # either the resubmit cost extra attempts or the checkpoints
+        # salvaged every cell the killed attempt had finished
+        assert (
+            m.task_retries > 0 or m.speculative_wins > 0
+            or m.cells_salvaged > 0
+        )
+    if fault == "fetch":
+        assert m.blocks_refetched > 0
+        assert m.extra["refetch_bytes"] > 0
+    assert list(tmp_path.iterdir()) == [], "spill dir not cleaned up"
+
+
 @pytest.mark.chaos
 @pytest.mark.parametrize("abort_faults, expected", [
     ("kernel:p=1:times=0", RetryBudgetExhausted),  # join never finishes

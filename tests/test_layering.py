@@ -1,0 +1,101 @@
+"""Import-DAG enforcement for the staged pipeline layering.
+
+The refactor's layering contract, checked by walking every module's AST
+(no imports are executed):
+
+- ``repro.engine`` is the bottom layer: it must never import the join
+  drivers (``repro.joins``), the CLI (``repro.cli``) or the benchmark
+  helpers (``repro.bench``).  Kernels reach the executor through the
+  :mod:`repro.engine.kernels` registry, not the other way around.
+- ``repro.joins`` (the stages and drivers) must never import the CLI or
+  the benchmark layer.
+"""
+
+import ast
+import os
+
+import pytest
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+#: layer prefix -> module prefixes it must never depend on
+FORBIDDEN = {
+    "repro.engine": ("repro.joins", "repro.cli", "repro.bench"),
+    "repro.joins": ("repro.cli", "repro.bench"),
+}
+
+
+def iter_modules():
+    pkg_root = os.path.join(SRC_ROOT, "repro")
+    for dirpath, _dirnames, filenames in os.walk(pkg_root):
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            rel = os.path.relpath(path, SRC_ROOT)
+            module = rel[: -len(".py")].replace(os.sep, ".")
+            if module.endswith(".__init__"):
+                module = module[: -len(".__init__")]
+            yield module, path
+
+
+def imported_modules(module, path):
+    """Absolute names of every module imported by ``module``."""
+    with open(path) as f:
+        tree = ast.parse(f.read(), filename=path)
+    package_parts = module.split(".")[:-1]
+    out = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # resolve "from ..x import y" relative imports
+                base = package_parts[: len(package_parts) - node.level + 1]
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            if prefix:
+                out.add(prefix)
+                # "from pkg import name" may bind the submodule pkg.name
+                out.update(f"{prefix}.{alias.name}" for alias in node.names)
+    return out
+
+
+MODULES = sorted(iter_modules())
+
+
+def in_layer(module, layer):
+    return module == layer or module.startswith(layer + ".")
+
+
+@pytest.mark.parametrize("layer", sorted(FORBIDDEN))
+def test_layer_never_imports_upward(layer):
+    forbidden = FORBIDDEN[layer]
+    violations = []
+    for module, path in MODULES:
+        if not in_layer(module, layer):
+            continue
+        for imported in imported_modules(module, path):
+            for banned in forbidden:
+                if in_layer(imported, banned):
+                    violations.append(f"{module} imports {imported}")
+    assert not violations, "\n".join(sorted(violations))
+
+
+def test_layer_check_sees_the_tree():
+    """Guard against the walker silently scanning nothing."""
+    names = {m for m, _ in MODULES}
+    assert "repro.engine.executor" in names
+    assert "repro.joins.pipeline" in names
+    assert "repro.cli" in names
+    assert len(names) > 40
+
+
+def test_stages_live_below_the_cli():
+    """The CLI composes drivers; drivers and stages never see the CLI."""
+    pipeline = dict(MODULES)["repro.joins.pipeline"]
+    imports = imported_modules("repro.joins.pipeline", pipeline)
+    assert not any(in_layer(i, "repro.cli") for i in imports)
+    assert any(in_layer(i, "repro.engine") for i in imports)
