@@ -1,0 +1,140 @@
+"""Telemetry overhead benchmark: what does observability cost?
+
+Runs the same epsilon-distance join three ways -- telemetry off (the
+library default), tracing on, and tracing on plus a rendered run
+report -- and records wall seconds, the span count, and the overhead
+ratio against the untraced run.  The join answer must be identical in
+all three modes; the disabled mode's overhead is the number the
+perfsmoke guard in ``tests/test_telemetry.py`` protects (< 2%).
+
+Results land in ``benchmarks/results/BENCH_telemetry.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py \
+        --n 60000 --workers 4 --repeats 3
+
+Wall clocks on a noisy host jitter more than the effect being measured,
+so each mode runs ``--repeats`` times and the *minimum* wall is kept --
+the standard noise floor trick for microbenchmarks.
+"""
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_telemetry.json"
+
+MODES = ("disabled", "traced", "traced+report")
+
+
+def make_inputs(n, seed_r=5, seed_s=6):
+    import numpy as np
+
+    from repro.data.pointset import PointSet
+
+    rng_r = np.random.default_rng(seed_r)
+    rng_s = np.random.default_rng(seed_s)
+    r = PointSet(rng_r.uniform(0, 1, n), rng_r.uniform(0, 1, n), name="R")
+    s = PointSet(rng_s.uniform(0, 1, n), rng_s.uniform(0, 1, n), name="S")
+    return r, s
+
+
+def run_once(r, s, eps, kernel, backend, workers, mode):
+    from repro.engine.telemetry import Telemetry
+    from repro.joins.distance_join import JoinConfig, distance_join
+
+    telemetry = Telemetry.create() if mode != "disabled" else None
+    cfg = JoinConfig(
+        eps=eps,
+        method="lpib",
+        num_workers=workers,
+        local_kernel=kernel,
+        execution_backend=backend,
+        executor_workers=workers,
+        telemetry=telemetry,
+    )
+    t0 = time.perf_counter()
+    res = distance_join(r, s, cfg)
+    report_text = ""
+    if mode == "traced+report":
+        report_text = telemetry.report().render()
+    wall = time.perf_counter() - t0
+    spans = len(telemetry.tracer) if telemetry is not None else 0
+    return wall, res.metrics.results, spans, len(report_text)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=60_000, help="points per side")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--eps", type=float, default=0.009)
+    ap.add_argument("--kernel", default="grid_hash")
+    ap.add_argument("--backend", default="serial",
+                    choices=("serial", "threads", "processes"))
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="runs per mode; the minimum wall is reported")
+    ap.add_argument("--out", default=str(RESULTS))
+    args = ap.parse_args(argv)
+
+    r, s = make_inputs(args.n)
+    rows = []
+    baseline = None
+    for mode in MODES:
+        walls, spans, results, report_chars = [], 0, None, 0
+        for _ in range(args.repeats):
+            wall, n_results, n_spans, n_chars = run_once(
+                r, s, args.eps, args.kernel, args.backend, args.workers, mode
+            )
+            walls.append(wall)
+            spans = n_spans
+            report_chars = n_chars
+            if results is None:
+                results = n_results
+            elif results != n_results:
+                raise AssertionError(f"{mode}: answer changed between runs")
+        row = {
+            "mode": mode,
+            "backend": args.backend,
+            "kernel": args.kernel,
+            "n": args.n,
+            "sim_workers": args.workers,
+            "wall_seconds": round(min(walls), 4),
+            "spans": spans,
+            "report_chars": report_chars,
+            "results": results,
+        }
+        if baseline is None:
+            baseline = row
+        else:
+            if row["results"] != baseline["results"]:
+                raise AssertionError(
+                    f"telemetry changed the answer: {row['results']} vs "
+                    f"{baseline['results']} results"
+                )
+        row["overhead_vs_disabled"] = round(
+            row["wall_seconds"] / max(baseline["wall_seconds"], 1e-9), 3
+        )
+        rows.append(row)
+        print(
+            f"{mode:>14}: wall {row['wall_seconds']:.3f}s "
+            f"(x{row['overhead_vs_disabled']:.3f}), "
+            f"{row['spans']} spans, {row['results']:,} results"
+        )
+
+    payload = {
+        "description": "telemetry overhead: disabled vs traced vs traced+report",
+        "cpu_count": os.cpu_count(),
+        "runs": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

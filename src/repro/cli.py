@@ -25,6 +25,13 @@ from repro.data.io import read_points_text, write_points_text
 from repro.engine.blockstore import SPILL_TIERS
 from repro.engine.executor import BACKENDS
 from repro.engine.faults import FaultPlan
+from repro.engine.telemetry import (
+    LOG_LEVELS,
+    TRACE_FORMATS,
+    Telemetry,
+    configure as configure_logging,
+    write_trace,
+)
 from repro.joins.api import ALL_METHODS, spatial_join
 from repro.joins.distance_join import GRID_METHODS
 from repro.joins.generalized_join import METHODS as GENERALIZED_METHODS
@@ -124,6 +131,15 @@ def _validate_join_args(args: argparse.Namespace) -> str | None:
             and args.method not in GRID_METHODS):
         return (f"--spill applies to grid methods only "
                 f"({', '.join(GRID_METHODS)})")
+    if args.trace_format is not None and args.trace is None:
+        return "--trace-format requires --trace"
+    if args.quiet and args.log_level not in (None, "quiet"):
+        return f"--quiet conflicts with --log-level {args.log_level}"
+    if ((args.trace is not None or args.report)
+            and args.join == "distance" and args.method not in GRID_METHODS):
+        return (f"--trace/--report cover the staged pipeline; with "
+                f"--join distance they apply to grid methods only "
+                f"({', '.join(GRID_METHODS)})")
     return None
 
 
@@ -141,6 +157,9 @@ def _execution_options(args: argparse.Namespace) -> dict:
         options["spill"] = args.spill
         options["spill_dir"] = args.spill_dir
         options["checkpoint_cells"] = args.checkpoint_cells
+    telemetry = getattr(args, "_telemetry", None)
+    if telemetry is not None:
+        options["telemetry"] = telemetry
     return options
 
 
@@ -197,6 +216,7 @@ def _run_join_variant(args: argparse.Namespace):
             result = spark_style_join(
                 path_r, path_s, r.mbr().union(s.mbr()), args.eps,
                 SimCluster(args.workers), method=args.method,
+                telemetry=getattr(args, "_telemetry", None),
             )
         return result, len(r), len(s)
     options = {}
@@ -210,11 +230,34 @@ def _run_join_variant(args: argparse.Namespace):
     return spatial_join(r, s, eps=args.eps, method=args.method, **options), len(r), len(s)
 
 
+def _emit_telemetry(args: argparse.Namespace) -> None:
+    """Write the trace file and/or print the run report after a join."""
+    telemetry: Telemetry | None = getattr(args, "_telemetry", None)
+    if telemetry is None:
+        return
+    if args.trace is not None:
+        fmt = args.trace_format or "jsonl"
+        write_trace(
+            telemetry.tracer.spans(), args.trace, fmt=fmt,
+            run_id=telemetry.run_id,
+        )
+        if not args.quiet:
+            print(f"trace ({fmt}, {len(telemetry.tracer)} spans) "
+                  f"written to {args.trace}")
+    if args.report:
+        print(telemetry.report().render())
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     error = _validate_join_args(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    level = "quiet" if args.quiet else args.log_level
+    if level is not None:
+        configure_logging(level)
+    if args.trace is not None or args.report:
+        args._telemetry = Telemetry.create()
     result, n_r, n_s = _run_join_variant(args)
     unit = "objects" if args.join in ("object", "intersection") else "points"
     print(f"inputs: {n_r:,} x {n_s:,} {unit}, eps={args.eps}, "
@@ -228,6 +271,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         if args.show_pairs:
             for rid, sid in sorted(result.pairs)[: args.show_pairs]:
                 print(f"  ({rid}, {sid})")
+        _emit_telemetry(args)
         return 0
     m = result.metrics
     print(m.summary())
@@ -260,6 +304,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if args.show_pairs:
         for rid, sid in sorted(result.pairs_set())[: args.show_pairs]:
             print(f"  ({rid}, {sid})")
+    _emit_telemetry(args)
     return 0
 
 
@@ -399,6 +444,21 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--payload", type=int, default=0, help="payload bytes per tuple")
     join.add_argument("--show-pairs", type=int, default=0, metavar="N",
                       help="print the first N result pairs")
+    join.add_argument("--trace", default=None, metavar="PATH",
+                      help="record a span trace of the run and write it to "
+                           "PATH (see docs/OBSERVABILITY.md)")
+    join.add_argument("--trace-format", choices=TRACE_FORMATS, default=None,
+                      help="trace file format: 'jsonl' (default) or "
+                           "'chrome' (open in chrome://tracing / Perfetto)")
+    join.add_argument("--report", action="store_true",
+                      help="print a Spark-UI-style run report (stages, "
+                           "worker skew, recovery timeline, shuffle matrix)")
+    join.add_argument("--log-level", choices=LOG_LEVELS, default=None,
+                      help="configure the 'repro' structured logger "
+                           "('quiet' silences warnings)")
+    join.add_argument("--quiet", action="store_true",
+                      help="shorthand for --log-level quiet; also drops "
+                           "the trace-written notice")
     join.set_defaults(fn=_cmd_join)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -45,6 +45,16 @@ from repro.engine.partitioner import (
 from repro.engine.lpt import lpt_assignment
 from repro.engine.shuffle import ShuffleStats
 from repro.engine.rdd import SimPairRDD, SimRDD
+from repro.engine.telemetry import (
+    LOG_LEVELS,
+    TRACE_FORMATS,
+    MetricsRegistry,
+    RunReport,
+    Span,
+    Telemetry,
+    Tracer,
+    write_trace,
+)
 
 __all__ = [
     "BACKENDS",
@@ -65,18 +75,26 @@ __all__ = [
     "InjectedKernelError",
     "InjectedWorkerKill",
     "JoinMetrics",
+    "LOG_LEVELS",
+    "MetricsRegistry",
     "Partitioner",
     "PhaseTimer",
     "RetryBudgetExhausted",
     "RetryPolicy",
+    "RunReport",
     "SPILL_TIERS",
     "ShuffleFetchError",
     "ShuffleStats",
+    "Span",
     "SpillConfig",
     "SimCluster",
     "SimPairRDD",
     "SimRDD",
+    "TRACE_FORMATS",
+    "Telemetry",
+    "Tracer",
     "Worker",
+    "write_trace",
     "build_execution_plan",
     "execute_plan",
     "lpt_assignment",

@@ -79,11 +79,24 @@ class CheckpointManager:
     def _directory(self) -> str:
         if self._dir is None:
             if self._user_dir is not None:
-                if not os.path.isdir(self._user_dir):
-                    # we created it, so close() may remove it
-                    os.makedirs(self._user_dir, exist_ok=True)
+                try:
+                    if not os.path.isdir(self._user_dir):
+                        # we created it, so close() may remove it
+                        os.makedirs(self._user_dir, exist_ok=True)
+                        self._owns_dir = True
+                    self._dir = self._user_dir
+                except OSError as exc:
+                    # same fallback contract as the block store: never
+                    # silently relocate user data without saying so
+                    from repro.engine.telemetry import get_logger
+
+                    self._dir = tempfile.mkdtemp(prefix="repro-ckpt-")
                     self._owns_dir = True
-                self._dir = self._user_dir
+                    get_logger("repro.engine.blockstore").warning(
+                        "checkpoint dir %r is unusable (%s: %s); "
+                        "falling back to temp directory %r",
+                        self._user_dir, type(exc).__name__, exc, self._dir,
+                    )
             else:
                 self._dir = tempfile.mkdtemp(prefix="repro-ckpt-")
                 self._owns_dir = True
@@ -154,6 +167,15 @@ class CheckpointManager:
             1 for name in os.listdir(self._dir)
             if name.startswith("cell_") and name.endswith(".npz")
         )
+
+    def stats(self) -> dict:
+        """Checkpoint accounting for telemetry/run reports."""
+        return {
+            "tier": self.tier,
+            "cells_saved": self.cells_saved,
+            "bytes_saved": self.bytes_saved,
+            "cells_available": len(self),
+        }
 
     # ------------------------------------------------------------------
     # pickling: memory checkpoints cannot cross a process boundary

@@ -35,6 +35,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.telemetry import get_logger
+
 #: Spill tiers accepted by :class:`SpillConfig` (``none`` disables the store).
 SPILL_TIERS = ("none", "memory", "disk")
 
@@ -112,6 +114,7 @@ class BlockStore:
         tier: str = "memory",
         spill_dir: str | None = None,
         memory_limit_bytes: int | None = None,
+        tracer=None,
     ):
         if tier not in SPILL_TIERS or tier == "none":
             raise ValueError(
@@ -119,6 +122,14 @@ class BlockStore:
             )
         self.tier = tier
         self.memory_limit_bytes = memory_limit_bytes
+        #: Optional :class:`~repro.engine.telemetry.Tracer`: spills,
+        #: fetches and evictions become ``blockstore`` events when it is
+        #: enabled (a ``None``/disabled tracer costs one check per call).
+        self._tracer = tracer
+        self._log = get_logger(
+            "repro.engine.blockstore",
+            tracer.run_id if tracer is not None else None,
+        )
         self._user_dir = spill_dir
         self._dir: str | None = None
         self._owns_dir = False
@@ -149,17 +160,35 @@ class BlockStore:
     # directory management
     # ------------------------------------------------------------------
     def _directory(self) -> str:
-        """The spill directory, created on first use."""
+        """The spill directory, created on first use.
+
+        An unusable user-configured directory (permission denied, bad
+        path) falls back to a fresh temp directory -- with a *warning*,
+        because spill data silently landing somewhere the user did not
+        ask for is exactly the kind of surprise a post-mortem needs to
+        see.  The warning honours the CLI's ``--log-level``/``--quiet``
+        via the standard :mod:`logging` tree.
+        """
         if self._dir is None:
             if self._user_dir is not None:
-                if not os.path.isdir(self._user_dir):
-                    # we created it, so close() may remove it
-                    os.makedirs(self._user_dir, exist_ok=True)
+                try:
+                    if not os.path.isdir(self._user_dir):
+                        # we created it, so close() may remove it
+                        os.makedirs(self._user_dir, exist_ok=True)
+                        self._owns_dir = True
+                    self._dir = self._user_dir
+                except OSError as exc:
+                    self._dir = tempfile.mkdtemp(prefix="repro-spill-")
                     self._owns_dir = True
-                self._dir = self._user_dir
+                    self._log.warning(
+                        "spill dir %r is unusable (%s: %s); "
+                        "falling back to temp directory %r",
+                        self._user_dir, type(exc).__name__, exc, self._dir,
+                    )
             else:
                 self._dir = tempfile.mkdtemp(prefix="repro-spill-")
                 self._owns_dir = True
+                self._log.debug("spilling to temp directory %r", self._dir)
         return self._dir
 
     @property
@@ -192,6 +221,17 @@ class BlockStore:
         self._meta[block_id] = meta
         self.blocks_spilled += 1
         self.spilled_bytes += logical_bytes
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.event(
+                "block_spill",
+                cat="blockstore",
+                side=block_id.side,
+                src=block_id.src,
+                dst=block_id.dst,
+                records=records,
+                bytes=logical_bytes,
+                location=meta.location,
+            )
         if self.memory_limit_bytes is not None:
             while self.bytes_in_memory > self.memory_limit_bytes and self._mem:
                 self._evict_lru()
@@ -210,6 +250,16 @@ class BlockStore:
         if meta is None:
             return None, None
         self.fetches += 1
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.event(
+                "block_fetch",
+                cat="blockstore",
+                side=block_id.side,
+                src=block_id.src,
+                dst=block_id.dst,
+                location=meta.location,
+                hit=meta.location != "dropped",
+            )
         if meta.location == "memory":
             self._mem.move_to_end(block_id)  # LRU touch
             self.hits += 1
@@ -251,6 +301,15 @@ class BlockStore:
         else:
             meta.location = "dropped"
             self.blocks_dropped += 1
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.event(
+                "block_evict",
+                cat="blockstore",
+                side=block_id.side,
+                src=block_id.src,
+                dst=block_id.dst,
+                to=meta.location,
+            )
 
     def _write(
         self, block_id: BlockId, arrays: dict[str, np.ndarray], meta: BlockMeta

@@ -119,6 +119,21 @@ class SimCluster:
         """
         return sum(w.total((SALVAGE_PHASE,)) for w in self.workers)
 
+    def clock_snapshot(self) -> dict[int, dict[str, float]]:
+        """Per-worker modelled clocks as plain dicts (for run reports)."""
+        return {w.worker_id: dict(w.clocks) for w in self.workers}
+
+    def wall_snapshot(self) -> dict[int, dict[str, float]]:
+        """Per-worker *measured* wall clocks as plain dicts."""
+        return {w.worker_id: dict(w.wall_clocks) for w in self.workers}
+
+    def phase_names(self) -> list[str]:
+        """Every phase any worker has a modelled clock for, sorted."""
+        names: set[str] = set()
+        for w in self.workers:
+            names.update(w.clocks)
+        return sorted(names)
+
     def reset(self) -> None:
         for w in self.workers:
             w.clocks.clear()

@@ -68,7 +68,9 @@ from repro.engine.faults import (
     InjectedKernelError,
     InjectedWorkerKill,
     RetryBudgetExhausted,
+    TaskFailure,
 )
+from repro.engine.telemetry import MetricsRegistry, Tracer, get_logger
 
 from typing import Mapping
 
@@ -189,6 +191,10 @@ class ExecutionReport:
     recovery_seconds: float = 0.0
     #: Injected-fault decisions consulted while scheduling attempts.
     fault_events: list[FaultEvent] = field(default_factory=list)
+    #: Observed attempt failures with their triggering exception -- what
+    #: actually went wrong, injected or real (recovery paths used to
+    #: swallow this; now it feeds recovery spans and the run report).
+    failures: list[TaskFailure] = field(default_factory=list)
     #: Attempts per simulated worker's task, for lineage-recompute
     #: charging on the modelled clocks.
     task_attempts: dict[int, int] = field(default_factory=dict)
@@ -381,18 +387,39 @@ def _run_group_guarded(
     attempt: int,
     faults: FaultPlan | None,
     checkpoints=None,
+    tracer: Tracer | None = None,
+    parent_span_id: str | None = None,
 ):
-    """One task attempt on the serial/threads backends (kill = raise)."""
+    """One task attempt on the serial/threads backends (kill = raise).
+
+    Records a ``task_run`` span (child of the scheduler's ``task`` span)
+    for the attempt; a failed attempt records nothing here -- the
+    scheduler's span carries the failure.  Returns
+    ``(worker_id, results, elapsed, span_payload)``; the payload slot is
+    ``None`` because spans land directly in the parent tracer (worker
+    *processes* fill it instead -- see :func:`_process_group`).
+    """
     def on_kill():
         raise InjectedWorkerKill(
             f"worker {worker_id} killed (attempt {attempt})"
         )
 
+    span = None
+    if tracer is not None and tracer.enabled:
+        span = tracer.begin(
+            "task_run",
+            cat="task",
+            parent_id=parent_span_id,
+            worker=worker_id,
+            attrs={"attempt": attempt, "cells": int(len(positions))},
+        )
     results, elapsed = _attempt_run(
         plan, positions, kernel_name, eps, worker_id, attempt, faults,
         checkpoints, on_kill,
     )
-    return worker_id, results, elapsed
+    if tracer is not None:
+        tracer.end(span)
+    return worker_id, results, elapsed, None
 
 
 # ----------------------------------------------------------------------
@@ -422,8 +449,16 @@ def _attach_side(name: str, n: int):
     return shm, ids, xs, ys
 
 
-def _process_group(args) -> tuple[int, list, float]:
-    """Pool task: attach the shared blocks, run one worker group's cells."""
+def _process_group(args) -> tuple[int, list, float, list | None]:
+    """Pool task: attach the shared blocks, run one worker group's cells.
+
+    Spans recorded in the child cannot share the parent's buffers, so --
+    exactly like spilled blocks -- they travel by value: the child records
+    into a local :class:`Tracer` and ships ``export_payload()`` back as
+    the fourth element of the result tuple for the parent to ``merge()``.
+    A killed child (``os._exit``) ships nothing; the scheduler-side
+    ``task`` span still records the loss.
+    """
     (
         worker_id,
         positions,
@@ -441,6 +476,9 @@ def _process_group(args) -> tuple[int, list, float]:
         attempt,
         faults,
         checkpoints,
+        trace_enabled,
+        run_id,
+        parent_span_id,
     ) = args
     if (
         checkpoints is None
@@ -452,6 +490,16 @@ def _process_group(args) -> tuple[int, list, float]:
         # the kill instead fires mid-task inside _attempt_run, after the
         # finished cells were persisted
         os._exit(13)
+    tracer = Tracer(enabled=trace_enabled, run_id=run_id)
+    span = None
+    if trace_enabled:
+        span = tracer.begin(
+            "task_run",
+            cat="task",
+            parent_id=parent_span_id,
+            worker=worker_id,
+            attrs={"attempt": attempt, "cells": int(len(positions))},
+        )
     shm_r, r_ids, r_xs, r_ys = _attach_side(r_name, n_r)
     try:
         shm_s, s_ids, s_xs, s_ys = _attach_side(s_name, n_s)
@@ -479,7 +527,8 @@ def _process_group(args) -> tuple[int, list, float]:
         del r_ids, r_xs, r_ys, s_ids, s_xs, s_ys
         shm_r.close()
         shm_s.close()
-    return worker_id, results, elapsed
+    tracer.end(span)
+    return worker_id, results, elapsed, tracer.export_payload() if trace_enabled else None
 
 
 def _pool_context():
@@ -496,9 +545,19 @@ def _pool_context():
 class _FTState:
     """Attempt bookkeeping shared across backend tiers."""
 
-    def __init__(self, faults: FaultPlan | None, report: ExecutionReport):
+    def __init__(
+        self,
+        faults: FaultPlan | None,
+        report: ExecutionReport,
+        tracer: Tracer,
+        registry: MetricsRegistry,
+        log,
+    ):
         self.faults = faults
         self.report = report
+        self.tracer = tracer
+        self.registry = registry
+        self.log = log
         self.per_task: dict[int, int] = defaultdict(int)
         self._next: dict[int, int] = defaultdict(int)
         self.total_attempts = 0
@@ -514,7 +573,65 @@ class _FTState:
         self._next[worker_id] = attempt + 1
         self.per_task[worker_id] += 1
         self.total_attempts += 1
+        self.registry.counter("executor.attempts").inc()
         return attempt
+
+    def task_span(self, worker_id, attempt, backend, cells, speculative=False):
+        """Open the scheduler-side span tracking one attempt."""
+        return self.tracer.begin(
+            "task",
+            cat="task",
+            worker=worker_id,
+            attrs={
+                "attempt": attempt,
+                "backend": backend,
+                "cells": int(cells),
+                "speculative": speculative,
+            },
+        )
+
+    def record_failure(
+        self,
+        worker_id: int,
+        attempt: int,
+        backend: str,
+        exc: BaseException,
+        span=None,
+        speculative: bool = False,
+    ) -> None:
+        """Log one attempt failure: report entry, counter, recovery event.
+
+        The triggering exception's type and message travel on the span,
+        the ``task_failure`` event, and :attr:`ExecutionReport.failures`
+        -- nothing is swallowed any more.
+        """
+        failure = TaskFailure.from_exception(
+            worker_id, attempt, backend, exc, speculative
+        )
+        self.report.failures.append(failure)
+        self.registry.counter(f"executor.failures.{failure.error_type}").inc()
+        attrs = failure.to_dict()
+        attrs.pop("worker")
+        if span is not None:
+            span.attrs["error_type"] = failure.error_type
+            span.attrs["error_message"] = failure.error_message
+            self.tracer.event(
+                "task_failure",
+                cat="recovery",
+                parent_id=span.span_id,
+                worker=worker_id,
+                **attrs,
+            )
+            self.tracer.end(span)
+        else:
+            self.tracer.event(
+                "task_failure", cat="recovery", worker=worker_id, **attrs
+            )
+        self.log.warning(
+            "task failed: worker=%d attempt=%d backend=%s %s: %s",
+            worker_id, attempt, backend,
+            failure.error_type, failure.error_message,
+        )
 
     def note(self, worker_id: int, attempt: int, backend: str) -> None:
         """Record which fault decisions this attempt will hit.
@@ -549,6 +666,8 @@ class _Flight:
     speculative: bool = False
     #: Set once a speculative copy of this attempt has been launched.
     speculated: bool = False
+    #: Scheduler-side ``task`` span (``None`` when tracing is disabled).
+    span: object = None
 
 
 def _serial_tier(
@@ -567,15 +686,20 @@ def _serial_tier(
                 break
             attempt = state.next_attempt(worker_id)
             state.note(worker_id, attempt, "serial")
+            span = state.task_span(
+                worker_id, attempt, "serial", len(run_positions)
+            )
             start = time.perf_counter()
             try:
-                _, results, elapsed = _run_group_guarded(
+                _, results, elapsed, _ = _run_group_guarded(
                     plan, run_positions, kernel_name, eps, worker_id, attempt,
-                    faults, checkpoints,
+                    faults, checkpoints, state.tracer,
+                    span.span_id if span is not None else None,
                 )
             except Exception as exc:
                 report.recovery_seconds += time.perf_counter() - start
                 state.last_error = exc
+                state.record_failure(worker_id, attempt, "serial", exc, span)
                 failures += 1
                 if failures > policy.max_retries:
                     exhausted[worker_id] = positions
@@ -585,6 +709,7 @@ def _serial_tier(
                     time.sleep(pause)
                     report.recovery_seconds += pause
             else:
+                state.tracer.end(span)
                 absorb(worker_id, results, elapsed)
                 break
     return exhausted
@@ -641,10 +766,15 @@ def _pool_tier(
                 return False
             attempt = state.next_attempt(worker_id)
             state.note(worker_id, attempt, backend)
+            span = state.task_span(
+                worker_id, attempt, backend, len(positions), speculative
+            )
+            span_id = span.span_id if span is not None else None
             if backend == "threads":
                 fut = pool.submit(
                     _run_group_guarded, plan, positions, kernel_name, eps,
                     worker_id, attempt, faults, checkpoints,
+                    state.tracer, span_id,
                 )
             else:
                 fut = pool.submit(
@@ -656,11 +786,21 @@ def _pool_tier(
                         plan.r_offsets, plan.s_offsets,
                         plan.cells, plan.workers, plan.origins,
                         attempt, faults, checkpoints,
+                        state.tracer.enabled, state.tracer.run_id, span_id,
                     ),
                 )
             pending[fut] = _Flight(
-                worker_id, attempt, time.perf_counter(), speculative
+                worker_id, attempt, time.perf_counter(), speculative,
+                span=span,
             )
+            if speculative:
+                state.tracer.event(
+                    "speculation_launched",
+                    cat="recovery",
+                    worker=worker_id,
+                    attempt=attempt,
+                    backend=backend,
+                )
             return True
 
         def inflight(worker_id: int) -> int:
@@ -670,6 +810,10 @@ def _pool_tier(
             worker_id = flight.worker_id
             report.recovery_seconds += max(0.0, now - flight.started)
             state.last_error = exc
+            state.record_failure(
+                worker_id, flight.attempt, backend, exc,
+                flight.span, flight.speculative,
+            )
             if worker_id in completed or worker_id in exhausted or worker_id in queued:
                 return
             if inflight(worker_id):
@@ -708,22 +852,29 @@ def _pool_tier(
                     continue  # a finished sibling already evicted this one
                 worker_id = flight.worker_id
                 try:
-                    _, results, elapsed = fut.result()
+                    _, results, elapsed, span_payload = fut.result()
                 except broken_types as exc:
                     pool_died = exc
                     fail(flight, now, exc)
                 except Exception as exc:
                     fail(flight, now, exc)
                 else:
+                    state.tracer.merge(span_payload)
                     if worker_id in completed:
+                        state.tracer.end(flight.span)
                         continue  # a sibling attempt already won
+                    state.tracer.end(flight.span)
                     completed.add(worker_id)
                     queued.pop(worker_id, None)
                     if flight.speculative:
                         report.speculative_wins += 1
+                        state.registry.counter("executor.speculative_wins").inc()
                     for sibling, fl in list(pending.items()):
                         if fl.worker_id == worker_id:
                             sibling.cancel()
+                            if fl.span is not None:
+                                fl.span.attrs["cancelled"] = True
+                                state.tracer.end(fl.span)
                             del pending[sibling]
                     absorb(worker_id, results, elapsed)
             if pool_died is not None:
@@ -736,6 +887,18 @@ def _pool_tier(
                 pool.shutdown(wait=False)
                 pool = make_pool()
                 report.pool_rebuilds += 1
+                state.registry.counter("executor.pool_rebuilds").inc()
+                state.tracer.event(
+                    "pool_rebuild",
+                    cat="recovery",
+                    backend=backend,
+                    error_type=type(pool_died).__name__,
+                    error_message=str(pool_died),
+                )
+                state.log.warning(
+                    "process pool died (%s); rebuilt with %d workers",
+                    type(pool_died).__name__, os_workers,
+                )
                 continue
             if (
                 policy.task_timeout is not None
@@ -755,6 +918,9 @@ def _pool_tier(
                         flight.speculated = True
                         if submit(flight.worker_id, speculative=True):
                             report.speculative_launched += 1
+                            state.registry.counter(
+                                "executor.speculative_launched"
+                            ).inc()
     finally:
         if pool is not None:
             pool.shutdown(wait=True)
@@ -777,6 +943,8 @@ def execute_plan(
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     checkpoints=None,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ExecutionReport:
     """Run every cell's local join on the chosen backend, fault tolerantly.
 
@@ -793,12 +961,22 @@ def execute_plan(
     task salvages them instead of recomputing its whole group.  Raises
     :class:`~repro.engine.faults.RetryBudgetExhausted` when a task cannot
     be completed on any backend in the fallback chain.
+
+    ``tracer``/``registry`` (see :mod:`repro.engine.telemetry`) record a
+    ``task`` span per attempt plus recovery/salvage events, and publish
+    executor counters; both default to disabled/throwaway instances, so
+    instrumentation is always-on but free when nobody is listening.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     policy = retry if retry is not None else RetryPolicy()
     if faults is not None and not faults:
         faults = None
+    if tracer is None:
+        tracer = Tracer(enabled=False)
+    if registry is None:
+        registry = MetricsRegistry()
+    log = get_logger("repro.engine.executor", tracer.run_id)
     groups = plan.worker_groups()
     n = plan.num_cells
     report = ExecutionReport(backend=backend, os_workers=1, backend_used=backend)
@@ -810,11 +988,13 @@ def execute_plan(
     if n == 0:
         return report
 
-    state = _FTState(faults, report)
+    state = _FTState(faults, report, tracer, registry, log)
     salvaged_done: set[int] = set()
+    task_seconds = registry.histogram("executor.task_seconds")
 
     def absorb(worker_id: int, results, elapsed: float) -> None:
         report.worker_wall[worker_id] = elapsed
+        task_seconds.observe(elapsed)
         for p, rid, sid, cand in results:
             report.pair_r[p] = rid
             report.pair_s[p] = sid
@@ -832,6 +1012,8 @@ def execute_plan(
         state.submitted.add(worker_id)
         if checkpoints is not None:
             keep = []
+            salvaged_here = 0
+            salvaged_secs = 0.0
             for pos in positions:
                 p = int(pos)
                 if p in salvaged_done:
@@ -848,8 +1030,23 @@ def execute_plan(
                 salvaged_done.add(p)
                 report.cells_salvaged += 1
                 report.salvaged_wall_seconds += rec.seconds
+                salvaged_here += 1
+                salvaged_secs += rec.seconds
                 if resub:
                     report.salvage_counts[p] += 1
+            if salvaged_here:
+                registry.counter("executor.cells_salvaged").inc(salvaged_here)
+                tracer.event(
+                    "checkpoint_salvage",
+                    cat="salvage",
+                    worker=worker_id,
+                    cells=salvaged_here,
+                    seconds=salvaged_secs,
+                )
+                log.info(
+                    "salvaged %d checkpointed cell(s) for worker %d",
+                    salvaged_here, worker_id,
+                )
             positions = np.asarray(keep, dtype=np.int64)
         if resub and len(positions):
             report.resubmit_counts[positions] += 1
@@ -883,6 +1080,23 @@ def execute_plan(
                 f"{tier!r} backend"
             ) from state.last_error
         report.degraded.append(fallback)
+        last = state.last_error
+        tracer.event(
+            "backend_degraded",
+            cat="recovery",
+            from_backend=tier,
+            to_backend=fallback,
+            tasks=len(remaining),
+            error_type=type(last).__name__ if last is not None else None,
+            error_message=str(last) if last is not None else None,
+        )
+        registry.counter("executor.degradations").inc()
+        log.warning(
+            "backend %r could not finish %d task(s) (%s); degrading to %r",
+            tier, len(remaining),
+            type(last).__name__ if last is not None else "unknown error",
+            fallback,
+        )
         tier = fallback
 
     report.attempts = state.total_attempts
@@ -890,4 +1104,15 @@ def execute_plan(
         0, report.attempts - len(groups) - report.speculative_launched
     )
     report.task_attempts = dict(state.per_task)
+    registry.gauge("executor.retries").set(report.retries)
+    registry.gauge("executor.recovery_seconds").set(report.recovery_seconds)
+    registry.gauge("executor.salvaged_wall_seconds").set(
+        report.salvaged_wall_seconds
+    )
+    if report.failures:
+        registry.set_meta(
+            "executor.failures", [f.to_dict() for f in report.failures]
+        )
+    if report.degraded:
+        registry.set_meta("executor.degraded", list(report.degraded))
     return report

@@ -109,6 +109,51 @@ class FaultEvent:
 
 
 @dataclass(frozen=True)
+class TaskFailure:
+    """One observed task-attempt failure, with its triggering exception.
+
+    Unlike :class:`FaultEvent` (the *planned* injections), a
+    ``TaskFailure`` records what actually went wrong -- injected or real
+    -- so recovery spans and the run report can name the exception
+    instead of swallowing it.
+    """
+
+    worker: int
+    attempt: int
+    backend: str
+    error_type: str
+    error_message: str
+    speculative: bool = False
+
+    @staticmethod
+    def from_exception(
+        worker: int,
+        attempt: int,
+        backend: str,
+        exc: BaseException,
+        speculative: bool = False,
+    ) -> "TaskFailure":
+        return TaskFailure(
+            worker=worker,
+            attempt=attempt,
+            backend=backend,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            speculative=speculative,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "attempt": self.attempt,
+            "backend": self.backend,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "speculative": self.speculative,
+        }
+
+
+@dataclass(frozen=True)
 class FaultClause:
     """One line of a fault plan; see the module docstring for semantics."""
 

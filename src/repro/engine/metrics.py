@@ -168,6 +168,24 @@ class JoinMetrics:
         denom = self.input_r * self.input_s
         return self.results / denom if denom else 0.0
 
+    def publish(self, registry) -> None:
+        """Publish every scalar field into a telemetry metrics registry.
+
+        ``registry`` is duck-typed (a
+        :class:`~repro.engine.telemetry.MetricsRegistry`) so this module
+        needs no telemetry import.  Each numeric field becomes the gauge
+        ``join.<field>`` holding the value *as stored* -- the registry is
+        a view over the metrics, never a rounding of them.
+        """
+        from dataclasses import fields as _dataclass_fields
+
+        for f in _dataclass_fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                registry.gauge(f"join.{f.name}").set(value)
+        for key, value in self.extra.items():
+            registry.gauge(f"join.extra.{key}").set(value)
+
     def summary(self) -> str:
         """One-line report used by examples and the bench harness."""
         return (

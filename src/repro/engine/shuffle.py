@@ -35,6 +35,16 @@ class ShuffleStats:
     refetch_records: int = 0
     refetch_bytes: int = 0
     refetch_blocks: int = 0
+    #: Optional worker-to-worker byte matrix (row = source, column =
+    #: destination), the Spark-UI "shuffle read by executor" view.  Off
+    #: by default; switched on by :meth:`enable_matrix` when a run report
+    #: wants it, so plain runs pay nothing for it.
+    matrix: np.ndarray | None = None
+
+    def enable_matrix(self, num_workers: int) -> None:
+        """Start accumulating the per-(src, dst) byte matrix."""
+        if self.matrix is None:
+            self.matrix = np.zeros((num_workers, num_workers), dtype=np.int64)
 
     def add_transfers(
         self,
@@ -59,6 +69,8 @@ class ShuffleStats:
         else:
             self.bytes += int(np.sum(record_bytes))
             self.remote_bytes += int(np.sum(record_bytes[remote_mask]))
+        if self.matrix is not None and n:
+            np.add.at(self.matrix, (src_workers, dst_workers), record_bytes)
 
     def add_single(self, src_worker: int, dst_worker: int, record_bytes: int) -> None:
         """Account one record."""
@@ -67,6 +79,8 @@ class ShuffleStats:
         if src_worker != dst_worker:
             self.remote_records += 1
             self.remote_bytes += record_bytes
+        if self.matrix is not None:
+            self.matrix[src_worker, dst_worker] += record_bytes
 
     def add_refetch(self, records: int, total_bytes: int, blocks: int = 0) -> None:
         """Account a re-read after a failed fetch.
@@ -86,3 +100,8 @@ class ShuffleStats:
         self.refetch_records += other.refetch_records
         self.refetch_bytes += other.refetch_bytes
         self.refetch_blocks += other.refetch_blocks
+        if other.matrix is not None:
+            if self.matrix is None:
+                self.matrix = other.matrix.copy()
+            else:
+                self.matrix += other.matrix

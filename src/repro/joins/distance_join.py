@@ -40,6 +40,7 @@ from repro.engine.faults import FaultPlan
 from repro.engine.metrics import CostModel, JoinMetrics
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.shuffle import KEY_BYTES
+from repro.engine.telemetry import Telemetry
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
@@ -145,6 +146,9 @@ class JoinConfig:
     checkpoint_cells: bool = False
     #: Memory-tier byte budget before LRU eviction (``None``: unbounded).
     spill_memory_limit_bytes: int | None = None
+    #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle (span
+    #: tracer + metrics registry); ``None`` keeps tracing disabled.
+    telemetry: Telemetry | None = None
 
     def resolved_partitions(self) -> int:
         return self.num_partitions or 8 * self.num_workers

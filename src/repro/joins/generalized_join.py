@@ -56,6 +56,7 @@ from repro.engine.blockstore import SpillConfig
 from repro.engine.faults import FaultPlan
 from repro.engine.metrics import CostModel, JoinMetrics
 from repro.engine.shuffle import KEY_BYTES
+from repro.engine.telemetry import Telemetry
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
@@ -117,6 +118,9 @@ class GeneralizedJoinConfig:
     checkpoint_cells: bool = False
     spill_memory_limit_bytes: int | None = None
     memory_limit_bytes: int | None = None
+    #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle (span
+    #: tracer + metrics registry); ``None`` keeps tracing disabled.
+    telemetry: Telemetry | None = None
 
     def spill_config(self) -> SpillConfig:
         """The validated block-store configuration for this job."""

@@ -79,6 +79,7 @@ from repro.engine.lpt import lpt_assignment
 from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
 from repro.engine.partitioner import ExplicitPartitioner
 from repro.engine.shuffle import ShuffleStats
+from repro.engine.telemetry import MetricsRegistry, Telemetry, Tracer
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
 from repro.grid.statistics import GridStatistics
@@ -132,6 +133,10 @@ class ExecutionSettings:
     checkpoint_cells: bool = False
     spill_memory_limit_bytes: int | None = None
     memory_limit_bytes: int | None = None
+    #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle
+    #: (tracer + metrics registry).  ``None`` means tracing disabled with
+    #: a private throwaway registry -- the always-on default.
+    telemetry: Telemetry | None = None
 
     @classmethod
     def from_config(cls, cfg: Any) -> "ExecutionSettings":
@@ -186,6 +191,7 @@ class JoinContext:
     fault_plan: FaultPlan | None = None
     store: BlockStore | None = None
     checkpoints: CheckpointManager | None = None
+    telemetry: Telemetry = field(default_factory=Telemetry.disabled)
     #: Inter-stage dataflow: each stage documents the keys it reads and
     #: writes (e.g. ``records``, ``groups_by_side``, ``plan``, ``report``).
     data: dict[str, Any] = field(default_factory=dict)
@@ -197,6 +203,14 @@ class JoinContext:
     @property
     def num_workers(self) -> int:
         return self.cluster.num_workers
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.telemetry.tracer
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.telemetry.registry
 
 
 def make_context(
@@ -220,6 +234,7 @@ def make_context(
         )
     fault_plan = settings.fault_plan()
     cm = cost_model or getattr(cfg, "cost_model", None) or CostModel()
+    telemetry = settings.telemetry or Telemetry.disabled()
     ctx = JoinContext(
         cfg=cfg,
         settings=settings,
@@ -227,11 +242,19 @@ def make_context(
         metrics=metrics,
         shuffle=ShuffleStats(),
         fault_plan=fault_plan,
+        telemetry=telemetry,
     )
+    if telemetry.enabled:
+        # the worker-to-worker byte matrix is a report-only artifact;
+        # plain runs skip its accumulation entirely
+        ctx.shuffle.enable_matrix(num_workers)
     spill_cfg = settings.spill_config()
     if spill_cfg.enabled:
         ctx.store = BlockStore(
-            spill_cfg.tier, spill_cfg.spill_dir, spill_cfg.memory_limit_bytes
+            spill_cfg.tier,
+            spill_cfg.spill_dir,
+            spill_cfg.memory_limit_bytes,
+            tracer=telemetry.tracer,
         )
         try:
             if spill_cfg.checkpoint_cells:
@@ -278,15 +301,32 @@ def run_staged_join(stages: list[Stage], ctx: JoinContext) -> JoinContext:
     the block store and checkpoint manager are released on *every* exit
     path -- including aborts mid-pipeline (exhausted retry budget,
     simulated OOM, a fetch that keeps failing).
+
+    When the context carries enabled telemetry, the whole run becomes a
+    ``job`` root span with one ``stage`` span per pipeline stage, and the
+    run's registry is stocked with everything a
+    :class:`~repro.engine.telemetry.RunReport` needs (per-worker clocks,
+    stage makespans, the shuffle matrix, the published metrics).
     """
+    tracer = ctx.tracer
     try:
-        for stage in stages:
-            ctx.timer.start(stage.phase)
-            started = time.perf_counter()
-            stage.run(ctx)
-            elapsed = time.perf_counter() - started
-            stage_times = ctx.metrics.stage_times
-            stage_times[stage.name] = stage_times.get(stage.name, 0.0) + elapsed
+        with tracer.span(
+            "job",
+            cat="job",
+            backend=ctx.settings.execution_backend,
+            workers=ctx.num_workers,
+            method=getattr(ctx.cfg, "method", None),
+        ):
+            for stage in stages:
+                ctx.timer.start(stage.phase)
+                started = time.perf_counter()
+                with tracer.span(stage.name, cat="stage", phase=stage.phase):
+                    stage.run(ctx)
+                elapsed = time.perf_counter() - started
+                stage_times = ctx.metrics.stage_times
+                stage_times[stage.name] = (
+                    stage_times.get(stage.name, 0.0) + elapsed
+                )
         ctx.timer.stop()
     finally:
         # spilled blocks and checkpoints are job-transient: release them
@@ -298,7 +338,50 @@ def run_staged_join(stages: list[Stage], ctx: JoinContext) -> JoinContext:
             ctx.store.close()
             ctx.store = None
     ctx.metrics.wall_times = dict(ctx.timer.phases)
+    _publish_run(ctx)
     return ctx
+
+
+def _publish_run(ctx: JoinContext) -> None:
+    """Stock the registry with the run-report artifacts (job epilogue)."""
+    registry = ctx.registry
+    metrics = ctx.metrics
+    metrics.publish(registry)
+    # drivers assign ``metrics.results`` only after run_staged_join
+    # returns; the pipeline already holds the result set, so derive the
+    # count here and keep the published gauge consistent with it
+    results = metrics.results
+    if not results:
+        if "result_count" in ctx.data:
+            results = int(ctx.data["result_count"])
+        elif "r_ids" in ctx.data:
+            results = int(len(ctx.data["r_ids"]))
+        elif "pairs" in ctx.data:
+            results = int(len(ctx.data["pairs"]))
+        if results:
+            registry.gauge("join.results").set(results)
+    registry.set_meta(
+        "job",
+        {
+            "method": metrics.method or getattr(ctx.cfg, "method", ""),
+            "backend": metrics.execution_backend,
+            "workers": ctx.num_workers,
+            "results": results,
+            "grid_cells": metrics.grid_cells,
+        },
+    )
+    registry.set_meta("cluster.clocks", ctx.cluster.clock_snapshot())
+    registry.set_meta("cluster.walls", ctx.cluster.wall_snapshot())
+    modelled = {
+        "shuffle": metrics.construction_time_model,
+        "local_join": metrics.join_time_model,
+    }
+    dedup = metrics.extra.get("dedup_time_model")
+    if dedup is not None:
+        modelled["distinct"] = dedup
+    registry.set_meta("stage.modelled", modelled)
+    if ctx.shuffle.matrix is not None:
+        registry.set_meta("shuffle.matrix", ctx.shuffle.matrix.tolist())
 
 
 # ----------------------------------------------------------------------
@@ -610,11 +693,19 @@ class ShuffleStage(Stage):
         ctx.data["read_records_w"] = read_records_w
         ctx.data["read_bytes_w"] = read_bytes_w
 
+        # the JoinMetrics fields are *derived views* over the registry:
+        # the gauge stores the exact int it is handed and returns it
+        # unchanged, so the goldens stay bit-identical
         m = ctx.metrics
-        m.shuffle_records = ctx.shuffle.records
-        m.shuffle_bytes = ctx.shuffle.bytes
-        m.remote_records = ctx.shuffle.remote_records
-        m.remote_bytes = ctx.shuffle.remote_bytes
+        reg = ctx.registry
+        m.shuffle_records = reg.gauge("shuffle.records").set(ctx.shuffle.records)
+        m.shuffle_bytes = reg.gauge("shuffle.bytes").set(ctx.shuffle.bytes)
+        m.remote_records = reg.gauge("shuffle.remote_records").set(
+            ctx.shuffle.remote_records
+        )
+        m.remote_bytes = reg.gauge("shuffle.remote_bytes").set(
+            ctx.shuffle.remote_bytes
+        )
 
 
 class ShuffleRecoveryStage(Stage):
@@ -639,6 +730,7 @@ class ShuffleRecoveryStage(Stage):
         read_records_w = ctx.data["read_records_w"]
         read_bytes_w = ctx.data["read_bytes_w"]
 
+        tracer = ctx.tracer
         fetch_retries = 0
         if ctx.fault_plan is not None:
             for w in range(ctx.num_workers):
@@ -647,24 +739,55 @@ class ShuffleRecoveryStage(Stage):
                 attempt = 0
                 while ctx.fault_plan.decide("fetch", w, attempt) is not None:
                     if attempt >= settings.max_retries:
+                        tracer.event(
+                            "fetch_failed",
+                            cat="recovery",
+                            worker=w,
+                            attempt=attempt,
+                            error_type="ShuffleFetchError",
+                            error_message=(
+                                f"worker {w} fetch failed "
+                                f"{attempt + 1} time(s)"
+                            ),
+                        )
                         raise ShuffleFetchError(w, attempt + 1)
                     if ctx.store is not None:
-                        refetch_blocks(
+                        blocks = refetch_blocks(
                             ctx.store, cluster, ctx.shuffle, w, attempt, cm
+                        )
+                        tracer.event(
+                            "fetch_retry",
+                            cat="recovery",
+                            worker=w,
+                            attempt=attempt,
+                            blocks=blocks,
                         )
                     else:
                         cluster.add_cost(w, "fetch_retry", read_cost_w[w])
                         ctx.shuffle.add_refetch(
                             int(read_records_w[w]), int(read_bytes_w[w])
                         )
+                        tracer.event(
+                            "fetch_retry",
+                            cat="recovery",
+                            worker=w,
+                            attempt=attempt,
+                            records=int(read_records_w[w]),
+                        )
+                    ctx.registry.counter("shuffle.fetch_retries").inc()
                     fetch_retries += 1
                     attempt += 1
             metrics.extra["fetch_retries"] = float(fetch_retries)
             metrics.extra["refetch_bytes"] = float(ctx.shuffle.refetch_bytes)
         ctx.data["fetch_retries"] = fetch_retries
-        metrics.blocks_refetched = ctx.shuffle.refetch_blocks
+        reg = ctx.registry
+        metrics.blocks_refetched = reg.gauge("blockstore.blocks_refetched").set(
+            ctx.shuffle.refetch_blocks
+        )
         if ctx.store is not None:
-            metrics.blocks_spilled = ctx.store.blocks_spilled
+            metrics.blocks_spilled = reg.gauge("blockstore.blocks_spilled").set(
+                ctx.store.blocks_spilled
+            )
             metrics.extra["spilled_bytes"] = float(ctx.store.spilled_bytes)
             if ctx.store.evictions:
                 metrics.extra["spill_evictions"] = float(ctx.store.evictions)
@@ -739,6 +862,8 @@ class LocalJoinStage(Stage):
             faults=ctx.fault_plan,
             retry=ctx.settings.retry_policy(),
             checkpoints=ctx.checkpoints,
+            tracer=ctx.tracer,
+            registry=ctx.registry,
         )
         ctx.data["plan"] = plan
         ctx.data["report"] = report
@@ -796,19 +921,37 @@ class JoinAccountingStage(Stage):
         metrics.extra["join_wall_total"] = report.wall_total
         metrics.extra["executor_os_workers"] = float(report.os_workers)
 
-        # fault-tolerance accounting
-        metrics.task_attempts = report.attempts
-        metrics.task_retries = report.retries
-        metrics.speculative_launched = report.speculative_launched
-        metrics.speculative_wins = report.speculative_wins
-        metrics.recovery_seconds = report.recovery_seconds
+        # fault-tolerance accounting: JoinMetrics fields as derived views
+        # over the run's registry (gauges store the exact value)
+        reg = ctx.registry
+        metrics.task_attempts = reg.gauge("join.task_attempts").set(
+            report.attempts
+        )
+        metrics.task_retries = reg.gauge("join.task_retries").set(report.retries)
+        metrics.speculative_launched = reg.gauge(
+            "join.speculative_launched"
+        ).set(report.speculative_launched)
+        metrics.speculative_wins = reg.gauge("join.speculative_wins").set(
+            report.speculative_wins
+        )
+        metrics.recovery_seconds = reg.gauge("join.recovery_seconds").set(
+            report.recovery_seconds
+        )
         metrics.recovery_time_model = cluster.recovery_time()
-        metrics.cells_salvaged = report.cells_salvaged
-        metrics.salvaged_seconds = report.salvaged_wall_seconds
+        metrics.cells_salvaged = reg.gauge("join.cells_salvaged").set(
+            report.cells_salvaged
+        )
+        metrics.salvaged_seconds = reg.gauge("join.salvaged_seconds").set(
+            report.salvaged_wall_seconds
+        )
         metrics.salvaged_time_model = cluster.salvaged_time()
         metrics.fault_events = len(report.fault_events) + ctx.data.get(
             "fetch_retries", 0
         )
+        if report.failures:
+            reg.set_meta(
+                "executor.failures", [f.to_dict() for f in report.failures]
+            )
         if report.degraded:
             metrics.fallback_backend = report.backend_used
             metrics.extra["degraded_steps"] = float(len(report.degraded))
@@ -890,12 +1033,17 @@ class DistinctStage(Stage):
         )
         d["r_ids"], d["s_ids"] = r_ids, s_ids
         m = ctx.metrics
+        reg = ctx.registry
         m.join_time_model += dedup_time
         m.extra["dedup_time_model"] = dedup_time
-        m.shuffle_records = ctx.shuffle.records
-        m.shuffle_bytes = ctx.shuffle.bytes
-        m.remote_records = ctx.shuffle.remote_records
-        m.remote_bytes = ctx.shuffle.remote_bytes
+        m.shuffle_records = reg.gauge("shuffle.records").set(ctx.shuffle.records)
+        m.shuffle_bytes = reg.gauge("shuffle.bytes").set(ctx.shuffle.bytes)
+        m.remote_records = reg.gauge("shuffle.remote_records").set(
+            ctx.shuffle.remote_records
+        )
+        m.remote_bytes = reg.gauge("shuffle.remote_bytes").set(
+            ctx.shuffle.remote_bytes
+        )
 
 
 # ----------------------------------------------------------------------

@@ -38,6 +38,7 @@ from repro.engine.metrics import JoinMetrics
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.rdd import SimRDD
 from repro.engine.shuffle import ShuffleStats
+from repro.engine.telemetry import Telemetry
 from repro.geometry.distance import within_eps
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Side
@@ -65,6 +66,9 @@ class SparkStyleResult:
     #: Pairs as produced, duplicates included (equals ``len(pairs)`` for a
     #: duplicate-free assignment).
     produced: int = 0
+    #: The staged pipeline's metrics record (stage wall clocks populated
+    #: by :func:`~repro.joins.pipeline.run_staged_join`).
+    metrics: JoinMetrics | None = None
 
 
 @dataclass(frozen=True)
@@ -222,6 +226,7 @@ def spark_style_join(
     sample_rate: float = 0.03,
     num_partitions: int | None = None,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> SparkStyleResult:
     """Run the epsilon-distance join exactly as Algorithm 5 stages it."""
     cfg = _SparkStyleConfig(
@@ -231,13 +236,17 @@ def spark_style_join(
         num_partitions=num_partitions or 8 * cluster.num_workers,
         seed=seed,
     )
+    telemetry = telemetry or Telemetry.disabled()
     ctx = JoinContext(
         cfg=cfg,
-        settings=ExecutionSettings(),
+        settings=ExecutionSettings(telemetry=telemetry),
         cluster=cluster,
         metrics=JoinMetrics(method=method, eps=eps, num_workers=cluster.num_workers),
         shuffle=ShuffleStats(),
+        telemetry=telemetry,
     )
+    if telemetry.enabled:
+        ctx.shuffle.enable_matrix(cluster.num_workers)
     ctx.data["grid"] = Grid(mbr, eps)
     run_staged_join(
         [
@@ -255,4 +264,5 @@ def spark_style_join(
         shuffle=ctx.shuffle,
         grid=ctx.data["grid"],
         produced=len(ctx.data["produced"]),
+        metrics=ctx.metrics,
     )

@@ -24,6 +24,24 @@ SRC_ROOT = os.path.join(
 FORBIDDEN = {
     "repro.engine": ("repro.joins", "repro.cli", "repro.bench"),
     "repro.joins": ("repro.cli", "repro.bench"),
+    # telemetry is the engine's bottom layer: everything above publishes
+    # into it, so it must not import any engine sibling (or anything
+    # higher) -- only the stdlib and numpy-free leaves
+    "repro.engine.telemetry": (
+        "repro.engine.blockstore",
+        "repro.engine.cluster",
+        "repro.engine.executor",
+        "repro.engine.faults",
+        "repro.engine.kernels",
+        "repro.engine.lpt",
+        "repro.engine.metrics",
+        "repro.engine.partitioner",
+        "repro.engine.rdd",
+        "repro.engine.shuffle",
+        "repro.joins",
+        "repro.cli",
+        "repro.bench",
+    ),
 }
 
 
@@ -99,3 +117,16 @@ def test_stages_live_below_the_cli():
     imports = imported_modules("repro.joins.pipeline", pipeline)
     assert not any(in_layer(i, "repro.cli") for i in imports)
     assert any(in_layer(i, "repro.engine") for i in imports)
+
+
+def test_telemetry_sits_below_executor_and_pipeline():
+    """Executor and pipeline publish into telemetry, never the reverse."""
+    modules = dict(MODULES)
+    for consumer in ("repro.engine.executor", "repro.joins.pipeline"):
+        imports = imported_modules(consumer, modules[consumer])
+        assert any(in_layer(i, "repro.engine.telemetry") for i in imports), (
+            f"{consumer} should publish into repro.engine.telemetry"
+        )
+    names = {m for m, _ in MODULES}
+    assert "repro.engine.telemetry.spans" in names
+    assert "repro.engine.telemetry.registry" in names
