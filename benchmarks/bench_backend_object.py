@@ -23,9 +23,10 @@ the numbers say so.
 
 import argparse
 import json
-import os
 import time
 from pathlib import Path
+
+from conftest import bench_run_metadata
 
 RESULTS = (
     Path(__file__).resolve().parent / "results" / "BENCH_backend_object.json"
@@ -108,7 +109,7 @@ def main(argv=None):
             "measured object-join wall clock per execution backend "
             "(anchor sweep + exact refinement)"
         ),
-        "cpu_count": os.cpu_count(),
+        **bench_run_metadata(),
         "runs": rows,
     }
     out = Path(args.out)

@@ -20,9 +20,10 @@ on a single-CPU host no backend can beat serial, and the numbers say so.
 
 import argparse
 import json
-import os
 import time
 from pathlib import Path
+
+from conftest import bench_run_metadata
 
 RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_backend.json"
 
@@ -61,6 +62,9 @@ def run_once(n, eps, kernel, backend, workers, seed_r=5, seed_s=6):
         "join_wall_makespan": round(m.join_wall_makespan, 4),
         "join_wall_total": round(m.extra.get("join_wall_total", 0.0), 4),
         "modelled_makespan": round(m.join_time_model, 4),
+        "modelled_launch_adjusted": round(
+            m.extra.get("join_time_model_launch_adjusted", m.join_time_model), 4
+        ),
         "results": m.results,
         "candidate_pairs": m.candidate_pairs,
     }
@@ -97,7 +101,7 @@ def main(argv=None):
 
     payload = {
         "description": "measured local-join wall clock per execution backend",
-        "cpu_count": os.cpu_count(),
+        **bench_run_metadata(),
         "runs": rows,
     }
     out = Path(args.out)

@@ -21,9 +21,10 @@ records ``cpu_count`` so the numbers read honestly.
 
 import argparse
 import json
-import os
 import time
 from pathlib import Path
+
+from conftest import bench_run_metadata
 
 RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_faults.json"
 
@@ -116,7 +117,7 @@ def main(argv=None):
 
     payload = {
         "description": "recovery overhead vs injected failure rate",
-        "cpu_count": os.cpu_count(),
+        **bench_run_metadata(),
         "runs": rows,
     }
     out = Path(args.out)

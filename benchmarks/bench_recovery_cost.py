@@ -23,6 +23,8 @@ import tempfile
 import time
 from pathlib import Path
 
+from conftest import bench_run_metadata
+
 RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_recovery.json"
 
 RATES = (0.1, 0.3, 0.5, 1.0)
@@ -144,7 +146,7 @@ def main(argv=None):
 
     payload = {
         "description": "block-level vs whole-partition recovery cost",
-        "cpu_count": os.cpu_count(),
+        **bench_run_metadata(),
         "config": {
             "n": args.n, "eps": args.eps, "kernel": args.kernel,
             "backend": args.backend, "sim_workers": args.workers,

@@ -21,9 +21,10 @@ the standard noise floor trick for microbenchmarks.
 
 import argparse
 import json
-import os
 import time
 from pathlib import Path
+
+from conftest import bench_run_metadata
 
 RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_telemetry.json"
 
@@ -126,7 +127,7 @@ def main(argv=None):
 
     payload = {
         "description": "telemetry overhead: disabled vs traced vs traced+report",
-        "cpu_count": os.cpu_count(),
+        **bench_run_metadata(),
         "runs": rows,
     }
     out = Path(args.out)

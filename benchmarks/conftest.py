@@ -6,10 +6,36 @@ sweeps).  Sweeps shared between figures are memoized on the session-wide
 experiment context, so e.g. Figs. 10-12 run their epsilon sweep once.
 """
 
+import os
+import subprocess
+
 import pytest
 
 from repro.bench.experiments import ExperimentContext
 from repro.bench.harness import BenchScale
+
+
+def bench_run_metadata() -> dict:
+    """Host provenance stamped into every ``BENCH_*.json`` payload.
+
+    Records the CPU count (speedup numbers are meaningless without it)
+    and the git revision the numbers were measured at.  Exception-safe:
+    a missing git binary or a non-repo checkout just omits the field.
+    """
+    meta: dict = {"cpu_count": os.cpu_count()}
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if rev.returncode == 0 and rev.stdout.strip():
+            meta["git_rev"] = rev.stdout.strip()
+    except Exception:
+        pass
+    return meta
 
 
 @pytest.fixture(scope="session")

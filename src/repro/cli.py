@@ -148,6 +148,7 @@ def _execution_options(args: argparse.Namespace) -> dict:
     options = {
         "execution_backend": args.backend,
         "max_retries": args.max_retries,
+        "fused": not args.no_fused,
     }
     if args.task_timeout is not None:
         options["task_timeout"] = args.task_timeout
@@ -414,6 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--kernel", choices=sorted(LOCAL_KERNELS),
                       default="plane_sweep",
                       help="per-cell local join kernel (grid methods only)")
+    join.add_argument("--no-fused", action="store_true",
+                      help="run the discrete assign/shuffle/join stages "
+                           "instead of the fused columnar path "
+                           "(bit-identical results; debugging aid)")
     join.add_argument("--faults", type=_fault_spec, default=None,
                       metavar="SPEC",
                       help="deterministic fault injection, e.g. "

@@ -61,6 +61,13 @@ class CostPrediction:
     candidates: float
     construction_time: float
     join_time: float
+    #: Serialization/launch overhead of the join tasks: one fixed submit
+    #: cost (argument marshalling + dispatch) per worker task.  Kept out
+    #: of :attr:`exec_time` because the simulated clocks it predicts
+    #: exclude launch costs too; add it when comparing against measured
+    #: wall time on a real thread/process backend (it mirrors the
+    #: ``launch_overhead_model`` extra the accounting stage reports).
+    launch_time: float = 0.0
 
     @property
     def replicated_total(self) -> float:
@@ -69,6 +76,11 @@ class CostPrediction:
     @property
     def exec_time(self) -> float:
         return self.construction_time + self.join_time
+
+    @property
+    def exec_time_launch_adjusted(self) -> float:
+        """:attr:`exec_time` plus the launch/serialization overhead."""
+        return self.exec_time + self.launch_time
 
     def describe(self) -> str:
         return (
@@ -263,6 +275,7 @@ class AnalyticalCostModel:
             candidates=candidates,
             construction_time=construction,
             join_time=join,
+            launch_time=w * cm.task_launch_cost,
         )
 
 

@@ -206,7 +206,15 @@ class BlockStore:
         records: int,
         logical_bytes: int,
     ) -> BlockMeta:
-        """Spill one block (overwrites any previous block at this id)."""
+        """Spill one block (overwrites any previous block at this id).
+
+        The memory tier stores ``arrays`` *by reference* -- zero-copy by
+        contract, so callers may (and the shuffle does) pass slice views
+        into one backing array instead of per-block copies.  Treat a put
+        block as frozen: the same objects come back from :meth:`fetch`.
+        Only eviction to disk serializes (npz); a later disk fetch then
+        returns fresh arrays.
+        """
         if self._closed:
             raise RuntimeError("BlockStore is closed")
         self._discard(block_id)
@@ -244,7 +252,9 @@ class BlockStore:
 
         ``(None, None)`` when no block was ever spilled at this address;
         ``(meta, None)`` when the block existed but was dropped by
-        eviction (the caller must recompute its records).
+        eviction (the caller must recompute its records).  A memory-tier
+        hit hands back the stored arrays themselves (zero-copy, no
+        pickle/npz round-trip) -- callers must not mutate them.
         """
         meta = self._meta.get(block_id)
         if meta is None:

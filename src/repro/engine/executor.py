@@ -269,6 +269,56 @@ def build_execution_plan(
     return ExecutionPlan(cell_arr, workers, *rb, *sb, origins=origin_arr)
 
 
+def build_execution_plan_from_layout(
+    r_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+    s_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+    r_layout: tuple[np.ndarray, np.ndarray, np.ndarray],
+    s_layout: tuple[np.ndarray, np.ndarray, np.ndarray],
+    cell_workers,
+    origins: np.ndarray | None = None,
+) -> ExecutionPlan:
+    """Columnar twin of :func:`build_execution_plan` -- no dicts, no
+    per-cell Python loop.
+
+    Each side's ``*_layout`` is ``(cells, bounds, point_idx)`` straight
+    from the shuffle's stable cell sort: ``cells`` ascending unique cell
+    ids, ``point_idx`` the side's point indices grouped by cell, and
+    ``bounds`` (len(cells) + 1) delimiting each group.  ``cell_workers``
+    maps the joinable cell-id array to its simulated workers in one
+    vectorized call; ``origins`` (aligned to the joinable cells) passes
+    through unchanged.  Output is bit-identical to the dict-based
+    builder: the joinable set is the sorted intersection, per-cell point
+    order is the stable-sort order either way, and each column is one
+    fancy gather.
+    """
+    cells = np.intersect1d(r_layout[0], s_layout[0], assume_unique=True)
+    cells = cells.astype(np.int64, copy=False)
+    workers = np.asarray(cell_workers(cells), dtype=np.int64)
+
+    def pack(arrays, layout):
+        ids, xs, ys = arrays
+        uniq, bounds, idx_sorted = layout
+        counts_all = np.diff(bounds)
+        member = np.zeros(len(uniq), dtype=bool)
+        if len(cells):
+            at = np.searchsorted(cells, uniq)
+            inside = at < len(cells)
+            member[inside] = cells[at[inside]] == uniq[inside]
+        offsets = np.zeros(len(cells) + 1, dtype=np.int64)
+        np.cumsum(counts_all[member], out=offsets[1:])
+        idx = idx_sorted[np.repeat(member, counts_all)]
+        return (
+            np.ascontiguousarray(ids[idx]),
+            np.ascontiguousarray(xs[idx]),
+            np.ascontiguousarray(ys[idx]),
+            offsets,
+        )
+
+    rb = pack(r_arrays, r_layout)
+    sb = pack(s_arrays, s_layout)
+    return ExecutionPlan(cells, workers, *rb, *sb, origins=origins)
+
+
 # ----------------------------------------------------------------------
 # kernel invocation shared by every backend
 # ----------------------------------------------------------------------
@@ -282,6 +332,55 @@ def _fault_midpoint(n: int) -> int:
     return (n + 1) // 2
 
 
+def _gather_segments(offsets: np.ndarray, positions: np.ndarray):
+    """Row indices selecting ``positions``' segments, plus local offsets."""
+    starts = offsets[positions]
+    counts = offsets[positions + 1] - starts
+    total = int(counts.sum())
+    local = np.zeros(len(positions) + 1, dtype=np.int64)
+    np.cumsum(counts, out=local[1:])
+    if total == 0:
+        return _EMPTY, local
+    idx = np.repeat(starts - local[:-1], counts) + np.arange(
+        total, dtype=np.int64
+    )
+    return idx, local
+
+
+def _run_cells_batched(
+    plan: ExecutionPlan,
+    positions: np.ndarray,
+    eps: float,
+    fire,
+    batch_fn,
+):
+    """All of one task's cells in a single batched kernel call.
+
+    Only reachable when checkpointing is off, so an injected fault (if
+    any) fires up front -- exactly where the per-cell loop fires it
+    (``fault_at == 0``).  Returns ``None`` when the batch kernel
+    declines; the caller falls back to the per-cell loop.
+    """
+    if fire is not None:
+        fire()
+    pos = np.asarray(positions, dtype=np.int64)
+    r_idx, r_off = _gather_segments(plan.r_offsets, pos)
+    s_idx, s_off = _gather_segments(plan.s_offsets, pos)
+    origins = plan.origins[pos] if plan.origins is not None else None
+    out = batch_fn(
+        plan.r_ids[r_idx], plan.r_xs[r_idx], plan.r_ys[r_idx], r_off,
+        plan.s_ids[s_idx], plan.s_xs[s_idx], plan.s_ys[s_idx], s_off,
+        eps, origins,
+    )
+    if out is None:
+        return None
+    pair_r, pair_s, cand = out
+    return [
+        (int(p), pair_r[i], pair_s[i], int(cand[i]))
+        for i, p in enumerate(pos)
+    ]
+
+
 def _run_cells(
     plan: ExecutionPlan,
     positions: np.ndarray,
@@ -290,14 +389,28 @@ def _run_cells(
     checkpoints=None,
     fault_at: int | None = None,
     fire=None,
+    batch: bool = False,
 ):
     """Run cells in order, checkpointing each result as it completes.
 
     ``fire`` is this attempt's injected fault (if any); it triggers once
     ``fault_at`` cells have completed, so with checkpointing enabled a
     failing attempt still persists the cells it finished first.
+
+    With ``batch`` set and no checkpointing, a kernel that registered a
+    batched variant handles the whole group in one vectorized call
+    (bit-identical output; see :mod:`repro.engine.kernels`).  Per-cell
+    checkpoints force the per-cell loop: a fused pass has no per-cell
+    completion points to snapshot.
     """
-    from repro.engine.kernels import get_kernel
+    from repro.engine.kernels import get_batch_kernel, get_kernel
+
+    if batch and checkpoints is None:
+        batch_fn = get_batch_kernel(kernel_name)
+        if batch_fn is not None:
+            results = _run_cells_batched(plan, positions, eps, fire, batch_fn)
+            if results is not None:
+                return results
 
     kernel = get_kernel(kernel_name)
     ro, so = plan.r_offsets, plan.s_offsets
@@ -342,6 +455,7 @@ def _attempt_run(
     faults: FaultPlan | None,
     checkpoints,
     on_kill,
+    batch: bool = False,
 ):
     """One task attempt: decide this attempt's injected faults, then run.
 
@@ -373,7 +487,7 @@ def _attempt_run(
     if fire is not None:
         fault_at = _fault_midpoint(len(positions)) if checkpoints is not None else 0
     results = _run_cells(
-        plan, positions, kernel_name, eps, checkpoints, fault_at, fire
+        plan, positions, kernel_name, eps, checkpoints, fault_at, fire, batch
     )
     return results, time.perf_counter() - start
 
@@ -389,6 +503,7 @@ def _run_group_guarded(
     checkpoints=None,
     tracer: Tracer | None = None,
     parent_span_id: str | None = None,
+    batch: bool = False,
 ):
     """One task attempt on the serial/threads backends (kill = raise).
 
@@ -415,7 +530,7 @@ def _run_group_guarded(
         )
     results, elapsed = _attempt_run(
         plan, positions, kernel_name, eps, worker_id, attempt, faults,
-        checkpoints, on_kill,
+        checkpoints, on_kill, batch,
     )
     if tracer is not None:
         tracer.end(span)
@@ -449,6 +564,126 @@ def _attach_side(name: str, n: int):
     return shm, ids, xs, ys
 
 
+def _plan_meta_layout(n: int, has_origins: bool, total_positions: int):
+    """Byte offsets of the plan-metadata block's sections."""
+    cells_off = 0
+    workers_off = 8 * n
+    r_off_off = 16 * n
+    s_off_off = r_off_off + 8 * (n + 1)
+    origins_off = s_off_off + 8 * (n + 1)
+    positions_off = origins_off + (16 * n if has_origins else 0)
+    size = positions_off + 8 * total_positions
+    return cells_off, workers_off, r_off_off, s_off_off, origins_off, positions_off, size
+
+
+def _plan_meta_to_shm(plan: ExecutionPlan, tasks: Mapping[int, np.ndarray]):
+    """Publish plan metadata + the task position table as one shared block.
+
+    Layout: ``[cells | workers | r_offsets | s_offsets | origins? |
+    positions]`` where ``positions`` concatenates every task's plan
+    positions.  Task args then carry only a ``(start, length)`` slice
+    descriptor into that table -- nothing per-cell crosses the pickle
+    boundary.  Returns ``(shm, pos_desc)`` with ``pos_desc`` mapping
+    worker id to its descriptor.
+    """
+    from multiprocessing import shared_memory
+
+    n = plan.num_cells
+    has_origins = plan.origins is not None
+    pos_desc: dict[int, tuple[int, int]] = {}
+    total = 0
+    for worker_id, positions in tasks.items():
+        pos_desc[worker_id] = (total, len(positions))
+        total += len(positions)
+    (cells_off, workers_off, r_off_off, s_off_off, origins_off,
+     positions_off, size) = _plan_meta_layout(n, has_origins, total)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, size))
+
+    def sect(count, dtype, offset):
+        return np.ndarray(count, dtype=dtype, buffer=shm.buf, offset=offset)
+
+    if n:
+        sect(n, np.int64, cells_off)[:] = plan.cells
+        sect(n, np.int64, workers_off)[:] = plan.workers
+    sect(n + 1, np.int64, r_off_off)[:] = plan.r_offsets
+    sect(n + 1, np.int64, s_off_off)[:] = plan.s_offsets
+    if has_origins and n:
+        sect(2 * n, np.float64, origins_off)[:] = plan.origins.reshape(-1)
+    if total:
+        blob = sect(total, np.int64, positions_off)
+        for worker_id, positions in tasks.items():
+            start, length = pos_desc[worker_id]
+            blob[start : start + length] = positions
+    return shm, pos_desc
+
+
+def _attach_plan_meta(name: str, n: int, has_origins: bool, total_positions: int):
+    """Attach the plan-metadata block; return (shm, *zero-copy views*)."""
+    from multiprocessing import shared_memory
+
+    (cells_off, workers_off, r_off_off, s_off_off, origins_off,
+     positions_off, _size) = _plan_meta_layout(n, has_origins, total_positions)
+    shm = shared_memory.SharedMemory(name=name)
+
+    def sect(count, dtype, offset):
+        return np.ndarray(count, dtype=dtype, buffer=shm.buf, offset=offset)
+
+    cells = sect(n, np.int64, cells_off)
+    workers = sect(n, np.int64, workers_off)
+    r_offsets = sect(n + 1, np.int64, r_off_off)
+    s_offsets = sect(n + 1, np.int64, s_off_off)
+    origins = None
+    if has_origins:
+        origins = sect(2 * n, np.float64, origins_off).reshape(n, 2)
+    positions = sect(total_positions, np.int64, positions_off)
+    return shm, cells, workers, r_offsets, s_offsets, origins, positions
+
+
+def _make_process_task_args(
+    worker_id: int,
+    positions: np.ndarray,
+    task_positions: np.ndarray,
+    pos_desc: Mapping[int, tuple[int, int]],
+    kernel_name: str,
+    eps: float,
+    r_name: str,
+    n_r: int,
+    s_name: str,
+    n_s: int,
+    meta_name: str,
+    n_cells: int,
+    has_origins: bool,
+    total_positions: int,
+    attempt: int,
+    faults,
+    checkpoints,
+    batch: bool,
+    trace_enabled: bool,
+    run_id,
+    parent_span_id,
+) -> tuple:
+    """Build one process-pool task's argument tuple.
+
+    When ``positions`` is the task's original group (the common case) it
+    travels as a ``("slice", start, length)`` descriptor against the
+    shared position table; only a checkpoint salvage -- which filters the
+    group to an array the parent alone knows -- ships explicit positions.
+    Kept as a named helper so tests can lint the payload size.
+    """
+    if positions is task_positions and worker_id in pos_desc:
+        start, length = pos_desc[worker_id]
+        pos_spec = ("slice", start, length)
+    else:
+        pos_spec = ("array", positions)
+    return (
+        worker_id, pos_spec, kernel_name, eps,
+        r_name, n_r, s_name, n_s,
+        meta_name, n_cells, has_origins, total_positions,
+        attempt, faults, checkpoints, batch,
+        trace_enabled, run_id, parent_span_id,
+    )
+
+
 def _process_group(args) -> tuple[int, list, float, list | None]:
     """Pool task: attach the shared blocks, run one worker group's cells.
 
@@ -461,21 +696,21 @@ def _process_group(args) -> tuple[int, list, float, list | None]:
     """
     (
         worker_id,
-        positions,
+        pos_spec,
         kernel_name,
         eps,
         r_name,
         n_r,
         s_name,
         n_s,
-        r_offsets,
-        s_offsets,
-        cells,
-        workers,
-        origins,
+        meta_name,
+        n_cells,
+        has_origins,
+        total_positions,
         attempt,
         faults,
         checkpoints,
+        batch,
         trace_enabled,
         run_id,
         parent_span_id,
@@ -490,43 +725,55 @@ def _process_group(args) -> tuple[int, list, float, list | None]:
         # the kill instead fires mid-task inside _attempt_run, after the
         # finished cells were persisted
         os._exit(13)
-    tracer = Tracer(enabled=trace_enabled, run_id=run_id)
-    span = None
-    if trace_enabled:
-        span = tracer.begin(
-            "task_run",
-            cat="task",
-            parent_id=parent_span_id,
-            worker=worker_id,
-            attrs={"attempt": attempt, "cells": int(len(positions))},
-        )
-    shm_r, r_ids, r_xs, r_ys = _attach_side(r_name, n_r)
+    shm_meta, cells, workers, r_offsets, s_offsets, origins, pos_table = (
+        _attach_plan_meta(meta_name, n_cells, has_origins, total_positions)
+    )
     try:
-        shm_s, s_ids, s_xs, s_ys = _attach_side(s_name, n_s)
-    except BaseException:
-        shm_r.close()
-        raise
-    try:
-        plan = ExecutionPlan(
-            cells, workers,
-            r_ids, r_xs, r_ys, r_offsets,
-            s_ids, s_xs, s_ys, s_offsets,
-            origins=origins,
-        )
-        results, elapsed = _attempt_run(
-            plan, positions, kernel_name, eps, worker_id, attempt, faults,
-            checkpoints, on_kill=lambda: os._exit(13),
-        )
-        # force copies: the kernel outputs never alias the shared blocks
-        # today (fancy indexing copies), but the blocks die with the task
-        results = [
-            (p, np.array(rid, dtype=np.int64), np.array(sid, dtype=np.int64), c)
-            for p, rid, sid, c in results
-        ]
+        if pos_spec[0] == "slice":
+            _tag, start, length = pos_spec
+            positions = pos_table[start : start + length]
+        else:
+            positions = pos_spec[1]
+        tracer = Tracer(enabled=trace_enabled, run_id=run_id)
+        span = None
+        if trace_enabled:
+            span = tracer.begin(
+                "task_run",
+                cat="task",
+                parent_id=parent_span_id,
+                worker=worker_id,
+                attrs={"attempt": attempt, "cells": int(len(positions))},
+            )
+        shm_r, r_ids, r_xs, r_ys = _attach_side(r_name, n_r)
+        try:
+            shm_s, s_ids, s_xs, s_ys = _attach_side(s_name, n_s)
+        except BaseException:
+            shm_r.close()
+            raise
+        try:
+            plan = ExecutionPlan(
+                cells, workers,
+                r_ids, r_xs, r_ys, r_offsets,
+                s_ids, s_xs, s_ys, s_offsets,
+                origins=origins,
+            )
+            results, elapsed = _attempt_run(
+                plan, positions, kernel_name, eps, worker_id, attempt, faults,
+                checkpoints, on_kill=lambda: os._exit(13), batch=batch,
+            )
+            # force copies: the kernel outputs never alias the shared blocks
+            # today (fancy indexing copies), but the blocks die with the task
+            results = [
+                (p, np.array(rid, dtype=np.int64), np.array(sid, dtype=np.int64), c)
+                for p, rid, sid, c in results
+            ]
+        finally:
+            del r_ids, r_xs, r_ys, s_ids, s_xs, s_ys
+            shm_r.close()
+            shm_s.close()
     finally:
-        del r_ids, r_xs, r_ys, s_ids, s_xs, s_ys
-        shm_r.close()
-        shm_s.close()
+        del cells, workers, r_offsets, s_offsets, origins, pos_table
+        shm_meta.close()
     tracer.end(span)
     return worker_id, results, elapsed, tracer.export_payload() if trace_enabled else None
 
@@ -672,7 +919,7 @@ class _Flight:
 
 def _serial_tier(
     plan, tasks, kernel_name, eps, faults, policy, state, report, absorb,
-    prepare, checkpoints,
+    prepare, checkpoints, batch,
 ):
     """Run tasks in-process with per-task retries; return unrecoverable."""
     exhausted: dict[int, np.ndarray] = {}
@@ -694,7 +941,7 @@ def _serial_tier(
                 _, results, elapsed, _ = _run_group_guarded(
                     plan, run_positions, kernel_name, eps, worker_id, attempt,
                     faults, checkpoints, state.tracer,
-                    span.span_id if span is not None else None,
+                    span.span_id if span is not None else None, batch,
                 )
             except Exception as exc:
                 report.recovery_seconds += time.perf_counter() - start
@@ -717,7 +964,7 @@ def _serial_tier(
 
 def _pool_tier(
     backend, plan, tasks, kernel_name, eps, faults, policy, state, report,
-    absorb, os_workers, prepare, checkpoints,
+    absorb, os_workers, prepare, checkpoints, batch,
 ):
     """Run tasks on a thread or process pool; return unrecoverable tasks.
 
@@ -747,12 +994,15 @@ def _pool_tier(
             max_workers=os_workers, mp_context=_pool_context()
         )
 
-    shm_r = shm_s = None
+    shm_r = shm_s = shm_meta = None
+    pos_desc: dict[int, tuple[int, int]] = {}
+    total_positions = sum(len(p) for p in tasks.values())
     pool = None
     try:
         if backend == "processes":
             shm_r = _side_to_shm(plan.r_ids, plan.r_xs, plan.r_ys)
             shm_s = _side_to_shm(plan.s_ids, plan.s_xs, plan.s_ys)
+            shm_meta, pos_desc = _plan_meta_to_shm(plan, tasks)
         pool = make_pool()
 
         def submit(worker_id: int, speculative: bool = False) -> bool:
@@ -774,18 +1024,20 @@ def _pool_tier(
                 fut = pool.submit(
                     _run_group_guarded, plan, positions, kernel_name, eps,
                     worker_id, attempt, faults, checkpoints,
-                    state.tracer, span_id,
+                    state.tracer, span_id, batch,
                 )
             else:
                 fut = pool.submit(
                     _process_group,
-                    (
-                        worker_id, positions, kernel_name, eps,
+                    _make_process_task_args(
+                        worker_id, positions, tasks[worker_id], pos_desc,
+                        kernel_name, eps,
                         shm_r.name, len(plan.r_ids),
                         shm_s.name, len(plan.s_ids),
-                        plan.r_offsets, plan.s_offsets,
-                        plan.cells, plan.workers, plan.origins,
-                        attempt, faults, checkpoints,
+                        shm_meta.name, plan.num_cells,
+                        plan.origins is not None,
+                        total_positions,
+                        attempt, faults, checkpoints, batch,
                         state.tracer.enabled, state.tracer.run_id, span_id,
                     ),
                 )
@@ -924,7 +1176,7 @@ def _pool_tier(
     finally:
         if pool is not None:
             pool.shutdown(wait=True)
-        for shm in (shm_r, shm_s):
+        for shm in (shm_r, shm_s, shm_meta):
             if shm is not None:
                 shm.close()
                 try:
@@ -945,6 +1197,7 @@ def execute_plan(
     checkpoints=None,
     tracer: Tracer | None = None,
     registry: MetricsRegistry | None = None,
+    batch_kernels: bool = False,
 ) -> ExecutionReport:
     """Run every cell's local join on the chosen backend, fault tolerantly.
 
@@ -966,6 +1219,13 @@ def execute_plan(
     ``task`` span per attempt plus recovery/salvage events, and publish
     executor counters; both default to disabled/throwaway instances, so
     instrumentation is always-on but free when nobody is listening.
+
+    ``batch_kernels`` lets a kernel with a registered batched variant
+    (see :func:`repro.engine.kernels.register_batch_kernel`) run each
+    task's whole cell group in one vectorized call.  Output is
+    bit-identical either way; the batched pass is skipped automatically
+    when ``checkpoints`` is set, since per-cell snapshots need the
+    per-cell loop.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -1059,7 +1319,7 @@ def execute_plan(
         if tier == "serial":
             remaining = _serial_tier(
                 plan, remaining, kernel_name, eps, faults, policy, state,
-                report, absorb, prepare, checkpoints,
+                report, absorb, prepare, checkpoints, batch_kernels,
             )
         else:
             os_workers = max_workers or min(len(remaining), os.cpu_count() or 1)
@@ -1069,6 +1329,7 @@ def execute_plan(
             remaining = _pool_tier(
                 tier, plan, remaining, kernel_name, eps, faults, policy,
                 state, report, absorb, os_workers, prepare, checkpoints,
+                batch_kernels,
             )
         if not remaining:
             break

@@ -49,3 +49,39 @@ def get_kernel(name: str) -> Callable:
 def registered_kernels() -> dict[str, Callable]:
     """A snapshot of the registry (name -> kernel)."""
     return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# batched variants: one call per worker *task* instead of one per cell
+# ----------------------------------------------------------------------
+# A batch kernel joins every cell of a task in a single vectorized pass::
+#
+#     batch_kernel(r_ids, r_xs, r_ys, r_offsets,
+#                  s_ids, s_xs, s_ys, s_offsets, eps, origins)
+#         -> (pair_r: list[ndarray], pair_s: list[ndarray],
+#             candidates: ndarray) | None
+#
+# The column arrays are the task's cells concatenated back to back;
+# ``*_offsets`` (len C+1) delimit each cell's segment and ``origins`` is a
+# ``(C, 2)`` float64 array or ``None``.  The contract is *bit-exactness*:
+# entry ``i`` of each output must equal the per-cell kernel applied to
+# segment ``i`` -- same pairs, same order, same candidate count.  A batch
+# kernel may return ``None`` to decline (e.g. composite keys would
+# overflow); the executor then falls back to the per-cell loop.
+#
+# Batched execution is only used when fine-grained checkpointing is off:
+# per-cell checkpoints need per-cell completion points, which a fused
+# pass by design does not have.
+
+_BATCH_REGISTRY: dict[str, Callable] = {}
+
+
+def register_batch_kernel(name: str, kernel: Callable) -> Callable:
+    """Register the batched variant of kernel ``name``."""
+    _BATCH_REGISTRY[name] = kernel
+    return kernel
+
+
+def get_batch_kernel(name: str) -> Callable | None:
+    """The batched variant of ``name``, or ``None`` if it has none."""
+    return _BATCH_REGISTRY.get(name)

@@ -41,6 +41,12 @@ class CostModel:
     emit_cost: float = 5.0e-8
     #: Fixed per-job overhead (driver, scheduling).
     job_overhead: float = 0.02
+    #: Per-task-attempt launch overhead: argument serialization, submit
+    #: queue latency and worker dispatch.  Calibrated against the gap
+    #: between the modelled and measured thread-pool clocks (the model
+    #: without this term undershot the measured makespan by roughly the
+    #: attempt count times this constant).
+    task_launch_cost: float = 5.0e-3
     #: Expansion of a serialized byte once deserialized on the executor
     #: heap (JVM object headers, boxing); used by the memory model.
     heap_expansion: float = 3.0

@@ -47,6 +47,7 @@ from repro.grid.grid import Grid
 from repro.grid.statistics import GridStatistics
 from repro.joins.pipeline import (
     GRID_METHODS,
+    AssignShuffleJoinStage,
     CollectPairsStage,
     DistinctStage,
     JoinAccountingStage,
@@ -149,6 +150,13 @@ class JoinConfig:
     #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle (span
     #: tracer + metrics registry); ``None`` keeps tracing disabled.
     telemetry: Telemetry | None = None
+    #: Run assign -> shuffle -> local-join fused in columnar mode: the
+    #: shuffle's sort feeds the plan builder directly (no per-cell group
+    #: dicts), task payloads ship shared-memory slice descriptors, and
+    #: kernels with batched variants join a whole task per call.  Result
+    #: pairs and metrics are bit-identical to the discrete path
+    #: (``fused=False``, the reference the equivalence tests pin).
+    fused: bool = True
 
     def resolved_partitions(self) -> int:
         return self.num_partitions or 8 * self.num_workers
@@ -285,6 +293,23 @@ class _OriginsStage(Stage):
 
     def run(self, ctx: JoinContext) -> None:
         grid: Grid = ctx.data["grid"]
+        layout = ctx.data.get("shuffle_layout")
+        if layout is not None:
+            # Fused/columnar mode: one vectorized origin computation over
+            # the joinable cell array (the same sorted intersection the
+            # plan builder derives).  ``cx * cell_w`` matches the scalar
+            # path bit for bit: int -> float64 conversion is exact here
+            # and the multiply/add are the same IEEE ops.
+            cells = np.intersect1d(
+                layout[Side.R][0], layout[Side.S][0], assume_unique=True
+            )
+            cx = (cells % grid.nx).astype(np.float64)
+            cy = (cells // grid.nx).astype(np.float64)
+            origin = np.empty((len(cells), 2), dtype=np.float64)
+            origin[:, 0] = grid.mbr.xmin + cx * grid.cell_w
+            origin[:, 1] = grid.mbr.ymin + cy * grid.cell_h
+            ctx.data["origin_array"] = origin
+            return
         groups = ctx.data["groups_by_side"]
         r_groups, s_groups = groups[Side.R], groups[Side.S]
         origins = {}
@@ -315,11 +340,13 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
     ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
     stages: list[Stage] = [
         _BuildPartitionStage(r, s),
-        _AssignStage(r, s),
-        ShuffleStage(),
-        ShuffleRecoveryStage(),
-        _OriginsStage(),
-        LocalJoinStage(cfg.local_kernel, cfg.eps),
+        *AssignShuffleJoinStage(
+            _AssignStage(r, s),
+            cfg.local_kernel,
+            cfg.eps,
+            origins_stage=_OriginsStage(),
+            fused=cfg.fused,
+        ).stages(),
         CollectPairsStage(cfg.collect_pairs),
         JoinAccountingStage(),
     ]

@@ -64,9 +64,7 @@ from repro.joins.distance_join import JoinResult
 from repro.joins.pipeline import (
     JoinAccountingStage,
     JoinContext,
-    LocalJoinStage,
-    ShuffleRecoveryStage,
-    ShuffleStage,
+    AssignShuffleJoinStage,
     SideRecords,
     Stage,
     lpt_partitioner,
@@ -121,6 +119,9 @@ class GeneralizedJoinConfig:
     #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle (span
     #: tracer + metrics registry); ``None`` keeps tracing disabled.
     telemetry: Telemetry | None = None
+    #: Fused columnar assign -> shuffle -> local-join (see the point
+    #: driver's ``JoinConfig.fused``); bit-identical to ``fused=False``.
+    fused: bool = True
 
     def spill_config(self) -> SpillConfig:
         """The validated block-store configuration for this job."""
@@ -366,10 +367,12 @@ def generalized_distance_join(
     ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
     stages: list[Stage] = [
         _RectangulationStage(r, s),
-        _ReplicationStage(r, s),
-        ShuffleStage(),
-        ShuffleRecoveryStage(),
-        LocalJoinStage("plane_sweep", cfg.eps),
+        *AssignShuffleJoinStage(
+            _ReplicationStage(r, s),
+            "plane_sweep",
+            cfg.eps,
+            fused=cfg.fused,
+        ).stages(),
         _OwnershipStage(r, s),
         JoinAccountingStage(),
     ]

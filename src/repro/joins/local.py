@@ -176,6 +176,149 @@ def grid_hash_join(
     return np.concatenate(out_r), np.concatenate(out_s), candidates
 
 
+def _segment_min(vals: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment minimum; empty segments yield ``+inf``."""
+    num = len(offsets) - 1
+    out = np.full(num, np.inf)
+    counts = np.diff(offsets)
+    nonempty = counts > 0
+    if nonempty.any():
+        # reduceat from each non-empty start runs to the next non-empty
+        # start; empty segments in between contribute zero elements, so
+        # the reduction window covers exactly the segment
+        out[nonempty] = np.minimum.reduceat(vals, offsets[:-1][nonempty])
+    return out
+
+
+def grid_hash_join_batch(
+    r_ids: np.ndarray,
+    r_xs: np.ndarray,
+    r_ys: np.ndarray,
+    r_offsets: np.ndarray,
+    s_ids: np.ndarray,
+    s_xs: np.ndarray,
+    s_ys: np.ndarray,
+    s_offsets: np.ndarray,
+    eps: float,
+    origins: np.ndarray | None,
+) -> tuple[list[np.ndarray], list[np.ndarray], np.ndarray] | None:
+    """All cells of one worker task in a single vectorized pass.
+
+    Bit-exact batched variant of :func:`grid_hash_join`: entry ``i`` of
+    each returned list equals the per-cell kernel applied to segment
+    ``i`` -- same pairs, same pair order, same candidate count.
+
+    The trick is one composite key space::
+
+        key = cell * (col_stride * row_stride) + cx * row_stride + cy
+
+    with *global* column/row shifts keeping every normalized coordinate
+    in the interior ``[1, stride - 2]``, so a +-1 probe can neither wrap
+    between bucket columns nor leak into a neighbouring cell's key block.
+    Within a cell the composite order equals the per-cell key order
+    (shifts are monotone), and the stable sort keeps equal-bucket points
+    in input order -- exactly what the scalar kernel's stable argsort
+    produces per cell.  Pair-emission order is recovered by a stable
+    argsort on the hit cells: the scalar kernel emits ``[strip][point]``
+    per cell, the batched strips emit ``[strip][cell][point]``, and a
+    stable sort by cell flips that to ``[cell][strip][point]``.
+
+    Returns ``None`` (decline; caller falls back to the per-cell loop)
+    if the composite keys would overflow int64.
+    """
+    num_cells = len(r_offsets) - 1
+    empty_out = [_EMPTY] * num_cells
+    if num_cells == 0 or len(r_ids) == 0 or len(s_ids) == 0:
+        return empty_out, list(empty_out), np.zeros(num_cells, dtype=np.int64)
+
+    if origins is not None:
+        x0 = np.ascontiguousarray(origins[:, 0], dtype=np.float64)
+        y0 = np.ascontiguousarray(origins[:, 1], dtype=np.float64)
+    else:
+        # per-cell data minima, exactly like the scalar kernel; cells with
+        # an empty side never probe, so their placeholder origin is inert
+        x0 = np.minimum(_segment_min(r_xs, r_offsets), _segment_min(s_xs, s_offsets))
+        y0 = np.minimum(_segment_min(r_ys, r_offsets), _segment_min(s_ys, s_offsets))
+        x0 = np.where(np.isfinite(x0), x0, 0.0)
+        y0 = np.where(np.isfinite(y0), y0, 0.0)
+
+    r_counts = np.diff(r_offsets)
+    s_counts = np.diff(s_offsets)
+    r_cell = np.repeat(np.arange(num_cells, dtype=np.int64), r_counts)
+    s_cell = np.repeat(np.arange(num_cells, dtype=np.int64), s_counts)
+
+    s_cx = np.floor((s_xs - x0[s_cell]) / eps).astype(np.int64)
+    s_cy = np.floor((s_ys - y0[s_cell]) / eps).astype(np.int64)
+    r_cx = np.floor((r_xs - x0[r_cell]) / eps).astype(np.int64)
+    r_cy = np.floor((r_ys - y0[r_cell]) / eps).astype(np.int64)
+
+    row_shift = 1 - min(int(s_cy.min()), int(r_cy.min()))
+    s_cy += row_shift
+    r_cy += row_shift
+    row_stride = max(int(s_cy.max()), int(r_cy.max())) + 2
+    col_shift = 1 - min(int(s_cx.min()), int(r_cx.min()))
+    s_cx += col_shift
+    r_cx += col_shift
+    col_stride = max(int(s_cx.max()), int(r_cx.max())) + 2
+
+    cell_span = col_stride * row_stride  # python ints: no silent overflow
+    if num_cells * cell_span >= 2**62:
+        return None
+
+    s_key = s_cell * cell_span + s_cx * row_stride + s_cy
+    order = np.argsort(s_key, kind="stable")
+    s_key_sorted = s_key[order]
+    sx = s_xs[order]
+    sy = s_ys[order]
+    sid = s_ids[order]
+
+    base = r_cell * cell_span + r_cx * row_stride + r_cy
+    eps_sq = eps * eps
+    candidates = np.zeros(num_cells, dtype=np.int64)
+    strip_r: list[np.ndarray] = []
+    strip_s: list[np.ndarray] = []
+    strip_cell: list[np.ndarray] = []
+    for col_delta in (-1, 0, 1):
+        probe = base + col_delta * row_stride
+        lo = np.searchsorted(s_key_sorted, probe - 1, side="left")
+        hi = np.searchsorted(s_key_sorted, probe + 1, side="right")
+        counts = hi - lo
+        candidates += np.bincount(
+            r_cell, weights=counts, minlength=num_cells
+        ).astype(np.int64)
+        anchors, windows = _expand_ranges(lo, hi)
+        if len(anchors) == 0:
+            continue
+        dx = r_xs[anchors]
+        dx -= sx[windows]
+        dx *= dx
+        dy = r_ys[anchors]
+        dy -= sy[windows]
+        dy *= dy
+        dx += dy
+        hit = np.flatnonzero(dx <= eps_sq)
+        if len(hit):
+            a = anchors[hit]
+            strip_r.append(r_ids[a])
+            strip_s.append(sid[windows[hit]])
+            strip_cell.append(r_cell[a])
+
+    if not strip_cell:
+        return empty_out, list(empty_out), candidates
+    hit_cells = np.concatenate(strip_cell)
+    rr = np.concatenate(strip_r)
+    ss = np.concatenate(strip_s)
+    reorder = np.argsort(hit_cells, kind="stable")
+    rr = rr[reorder]
+    ss = ss[reorder]
+    bounds = np.concatenate(
+        ([0], np.cumsum(np.bincount(hit_cells, minlength=num_cells)))
+    )
+    pair_r = [rr[bounds[i] : bounds[i + 1]] for i in range(num_cells)]
+    pair_s = [ss[bounds[i] : bounds[i + 1]] for i in range(num_cells)]
+    return pair_r, pair_s, candidates
+
+
 def rtree_join(
     r_ids: np.ndarray,
     r_xs: np.ndarray,
@@ -258,8 +401,14 @@ LOCAL_KERNELS = {
 # names against (repro.engine.kernels); the engine layer never imports
 # this module, so registration happens here, at import time of the layer
 # that defines the kernels.
+from repro.engine.kernels import register_batch_kernel as _register_batch_kernel
 from repro.engine.kernels import register_kernel as _register_kernel
 
 for _name, _kernel in LOCAL_KERNELS.items():
     _register_kernel(_name, _kernel)
 del _name, _kernel
+
+# Batched (whole-task) variant: only grid_hash has one -- its integer
+# bucket keys compose across cells without touching float arithmetic.
+# The float-keyed kernels keep their per-cell loop inside the worker.
+_register_batch_kernel("grid_hash", grid_hash_join_batch)

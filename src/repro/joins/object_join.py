@@ -54,9 +54,7 @@ from repro.grid.statistics import GridStatistics
 from repro.joins.pipeline import (
     JoinAccountingStage,
     JoinContext,
-    LocalJoinStage,
-    ShuffleRecoveryStage,
-    ShuffleStage,
+    AssignShuffleJoinStage,
     SideRecords,
     Stage,
     build_grid_assigner,
@@ -139,6 +137,9 @@ class ObjectJoinConfig:
     #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle (span
     #: tracer + metrics registry); ``None`` keeps tracing disabled.
     telemetry: Telemetry | None = None
+    #: Fused columnar assign -> shuffle -> local-join (see the point
+    #: driver's ``JoinConfig.fused``); bit-identical to ``fused=False``.
+    fused: bool = True
 
     def resolved_partitions(self) -> int:
         return self.num_partitions or 8 * self.num_workers
@@ -355,11 +356,13 @@ def object_join(
     ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
     stages: list[Stage] = [
         _AnchorReductionStage(r, s, eps_eff),
-        _AnchorAssignStage(r, s),
-        ShuffleStage(),
-        ShuffleRecoveryStage(),
         # the anchor sweep IS the point plane-sweep kernel at eps_eff
-        LocalJoinStage("plane_sweep", eps_eff),
+        *AssignShuffleJoinStage(
+            _AnchorAssignStage(r, s),
+            "plane_sweep",
+            eps_eff,
+            fused=cfg.fused,
+        ).stages(),
         _ExactRefineStage(r, s, eps, predicate),
         JoinAccountingStage(),
     ]

@@ -71,6 +71,7 @@ from repro.engine.executor import (
     BACKENDS,
     RetryPolicy,
     build_execution_plan,
+    build_execution_plan_from_layout,
     execute_plan,
 )
 from repro.engine.faults import FaultPlan, ShuffleFetchError
@@ -520,28 +521,36 @@ def spill_side_blocks(
     Mirrors Spark's map-output files: each map executor writes one
     addressable block per reduce destination, so a lost destination input
     can later be healed per source instead of re-read wholesale.
+
+    Blocks are *slice views* into two edge-sorted arrays -- the memory
+    tier stores them zero-copy (two gathers total instead of two copies
+    per block); only disk spills serialize.
     """
     if len(cells) == 0:
         return
     key = src_workers.astype(np.int64) * num_workers + dst_workers.astype(np.int64)
     order = np.argsort(key, kind="stable")
     sorted_key = key[order]
+    cells_sorted = cells[order]
+    idxs_sorted = idxs[order]
     uniq, starts = np.unique(sorted_key, return_index=True)
     bounds = np.append(starts, len(sorted_key))
     sized = np.ndim(record_bytes) != 0
     for i, k in enumerate(uniq):
-        sel = order[bounds[i] : bounds[i + 1]]
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
         src, dst = divmod(int(k), num_workers)
         logical = (
-            int(np.sum(record_bytes[sel])) if sized else len(sel) * record_bytes
+            int(np.sum(record_bytes[order[lo:hi]]))
+            if sized
+            else (hi - lo) * record_bytes
         )
         store.put(
             BlockId(side, src, dst),
             {
-                "cells": np.ascontiguousarray(cells[sel]),
-                "points": np.ascontiguousarray(idxs[sel]),
+                "cells": cells_sorted[lo:hi],
+                "points": idxs_sorted[lo:hi],
             },
-            records=len(sel),
+            records=hi - lo,
             logical_bytes=logical,
         )
 
@@ -600,10 +609,23 @@ class ShuffleStage(Stage):
     per-destination read totals fetch recovery needs.  Charges the
     modelled map and shuffle-read costs, spills map output as blocks when
     a store is attached, and grows the modelled heap demand.
+
+    ``materialize_groups=False`` is the fused columnar mode (see
+    :class:`AssignShuffleJoinStage`): instead of a per-cell dict of index
+    arrays, the stage keeps each side's stable cell sort as a
+    ``shuffle_layout`` triple ``(cells, bounds, point_idx)`` --
+    the exact internals of :func:`group_slices` minus the dict -- and
+    skips the per-cell ``cell_worker`` loop (the plan builder maps cells
+    to workers in one vectorized call).  All accounting is shared code
+    either way, so ShuffleStats, modelled costs and spill behaviour are
+    bit-identical.
     """
 
     name = "shuffle"
     phase = "map_shuffle"
+
+    def __init__(self, materialize_groups: bool = True):
+        self.materialize_groups = materialize_groups
 
     def run(self, ctx: JoinContext) -> None:
         W = ctx.num_workers
@@ -611,6 +633,7 @@ class ShuffleStage(Stage):
         cluster = ctx.cluster
         partitioner = ctx.data["partitioner"]
         per_side: dict[Side, dict[int, np.ndarray]] = {}
+        layout: dict[Side, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         cell_worker: dict[int, int] = {}
         worker_heap = np.zeros(W)
         # per-destination-worker shuffle-read totals, kept for
@@ -680,14 +703,27 @@ class ShuffleStage(Stage):
             read_bytes_w += side_bytes
             worker_heap += side_bytes * cm.heap_expansion
 
-            groups = group_slices(cells, idxs)
-            per_side[rec.side] = groups
-            for cell in groups:
-                if cell not in cell_worker:
-                    cell_worker[cell] = partitioner.of(cell) % W
+            if self.materialize_groups:
+                groups = group_slices(cells, idxs)
+                per_side[rec.side] = groups
+                for cell in groups:
+                    if cell not in cell_worker:
+                        cell_worker[cell] = partitioner.of(cell) % W
+            else:
+                order = np.argsort(cells, kind="stable")
+                cells_sorted = cells[order]
+                uniq, starts = np.unique(cells_sorted, return_index=True)
+                layout[rec.side] = (
+                    uniq,
+                    np.append(starts, len(cells_sorted)),
+                    idxs[order],
+                )
 
-        ctx.data["groups_by_side"] = per_side
-        ctx.data["cell_worker"] = cell_worker
+        if self.materialize_groups:
+            ctx.data["groups_by_side"] = per_side
+            ctx.data["cell_worker"] = cell_worker
+        else:
+            ctx.data["shuffle_layout"] = layout
         ctx.data["worker_heap"] = worker_heap
         ctx.data["read_cost_w"] = read_cost_w
         ctx.data["read_records_w"] = read_records_w
@@ -826,33 +862,53 @@ class ShuffleRecoveryStage(Stage):
 class LocalJoinStage(Stage):
     """Run every joinable cell's kernel through the executor.
 
-    Reads ``groups_by_side``, ``cell_worker``, ``side_arrays`` (each
-    side's ``(ids, xs, ys)`` parallel arrays) and optionally ``origins``;
-    writes the packed ``plan`` and the executor's ``report``.  The
-    backend, fault plan, retry policy and checkpoint manager all come
-    from the context, so every driver composing this stage is fault
-    tolerant on every backend.
+    Reads ``side_arrays`` (each side's ``(ids, xs, ys)`` parallel
+    arrays) plus either the discrete shuffle's ``groups_by_side`` /
+    ``cell_worker`` dicts (and optionally ``origins``) or the fused
+    shuffle's columnar ``shuffle_layout`` (and optionally
+    ``origin_array``); writes the packed ``plan`` and the executor's
+    ``report``.  The backend, fault plan, retry policy and checkpoint
+    manager all come from the context, so every driver composing this
+    stage is fault tolerant on every backend.
+
+    ``batch_kernels`` (set by the fused composite) lets kernels with
+    batched variants join a whole worker task in one vectorized call;
+    the default keeps the legacy per-cell loop.
     """
 
     name = "local_join"
     phase = "join"
 
-    def __init__(self, kernel_name: str, eps: float):
+    def __init__(self, kernel_name: str, eps: float, *, batch_kernels: bool = False):
         self.kernel_name = kernel_name
         self.eps = eps
+        self.batch_kernels = batch_kernels
 
     def run(self, ctx: JoinContext) -> None:
         get_kernel(self.kernel_name)  # fail fast on an unknown kernel
-        groups = ctx.data["groups_by_side"]
         side_arrays = ctx.data["side_arrays"]
-        plan = build_execution_plan(
-            side_arrays[Side.R],
-            side_arrays[Side.S],
-            groups[Side.R],
-            groups[Side.S],
-            ctx.data["cell_worker"],
-            ctx.data.get("origins"),
-        )
+        layout = ctx.data.get("shuffle_layout")
+        if layout is not None:
+            partitioner = ctx.data["partitioner"]
+            W = ctx.num_workers
+            plan = build_execution_plan_from_layout(
+                side_arrays[Side.R],
+                side_arrays[Side.S],
+                layout[Side.R],
+                layout[Side.S],
+                lambda cells: partitioner.of_array(cells) % W,
+                ctx.data.get("origin_array"),
+            )
+        else:
+            groups = ctx.data["groups_by_side"]
+            plan = build_execution_plan(
+                side_arrays[Side.R],
+                side_arrays[Side.S],
+                groups[Side.R],
+                groups[Side.S],
+                ctx.data["cell_worker"],
+                ctx.data.get("origins"),
+            )
         report = execute_plan(
             plan,
             self.kernel_name,
@@ -864,9 +920,66 @@ class LocalJoinStage(Stage):
             checkpoints=ctx.checkpoints,
             tracer=ctx.tracer,
             registry=ctx.registry,
+            batch_kernels=self.batch_kernels,
         )
         ctx.data["plan"] = plan
         ctx.data["report"] = report
+
+
+class AssignShuffleJoinStage:
+    """The fused assign -> shuffle -> local-join path, as a composite.
+
+    Not itself a :class:`Stage`: :meth:`stages` expands to the *same
+    named stages* the discrete pipeline runs, so telemetry stage spans,
+    ``stage_times`` keys and ShuffleStats accounting survive fusion
+    bit-for-bit -- but running in columnar mode end to end:
+
+    * the shuffle keeps its stable cell sort as a ``shuffle_layout``
+      instead of materializing a per-cell dict at the stage barrier;
+    * the plan builder consumes that layout with pure array ops
+      (:func:`~repro.engine.executor.build_execution_plan_from_layout`)
+      -- no per-cell Python loop, one gather per column;
+    * kernels with batched variants join each worker task's whole cell
+      group in one vectorized call (``batch_kernels=True``).
+
+    ``fused=False`` expands to exactly the legacy discrete pipeline --
+    the reference the equivalence tests compare against.  The fused
+    pass automatically falls back to the per-cell kernel loop when cell
+    checkpointing is on (see :func:`~repro.engine.executor.execute_plan`),
+    so fault salvage semantics are untouched.
+
+    ``origins_stage`` (the point driver's origin anchoring) slots
+    between shuffle recovery and the local join, exactly where the
+    discrete stage list put it.
+    """
+
+    def __init__(
+        self,
+        assign_stage: Stage,
+        kernel_name: str,
+        eps: float,
+        *,
+        origins_stage: Stage | None = None,
+        fused: bool = True,
+    ):
+        self.assign_stage = assign_stage
+        self.kernel_name = kernel_name
+        self.eps = eps
+        self.origins_stage = origins_stage
+        self.fused = fused
+
+    def stages(self) -> list[Stage]:
+        out: list[Stage] = [
+            self.assign_stage,
+            ShuffleStage(materialize_groups=not self.fused),
+            ShuffleRecoveryStage(),
+        ]
+        if self.origins_stage is not None:
+            out.append(self.origins_stage)
+        out.append(
+            LocalJoinStage(self.kernel_name, self.eps, batch_kernels=self.fused)
+        )
+        return out
 
 
 class JoinAccountingStage(Stage):
@@ -920,6 +1033,16 @@ class JoinAccountingStage(Stage):
         metrics.worker_join_wall = cluster.phase_wall_loads("join")
         metrics.extra["join_wall_total"] = report.wall_total
         metrics.extra["executor_os_workers"] = float(report.os_workers)
+        # Serialization/launch overhead term (satellite of the columnar
+        # task path): each task attempt pays a fixed submit cost the pure
+        # compute model omits -- the measured-vs-modelled gap on the
+        # thread backend.  Kept in ``extra`` so the frozen golden clock
+        # is untouched; consumers wanting the adjusted clock read it here.
+        launch_model = float(report.attempts) * ctx.cost_model.task_launch_cost
+        metrics.extra["launch_overhead_model"] = launch_model
+        metrics.extra["join_time_model_launch_adjusted"] = (
+            metrics.join_time_model + launch_model
+        )
 
         # fault-tolerance accounting: JoinMetrics fields as derived views
         # over the run's registry (gauges store the exact value)
@@ -983,8 +1106,18 @@ def parallel_distinct(
     Models the paper's post-join deduplication operator (Sect. 7.2.7):
     every result pair is shuffled by its key so duplicates co-locate, then
     each partition sorts/uniquifies its pairs.
+
+    The dedup itself runs batched: each source worker's pair block is
+    ``np.unique``-d locally, then a single k-way merge of the sorted key
+    blocks (:func:`~repro.joins.postprocess.merge_sorted_unique`) yields
+    the global distinct set -- replacing a full-materialize
+    ``np.unique`` over every pair at once, and bit-identical to it.
     """
-    from repro.joins.postprocess import pack_pair_keys, unpack_pair_keys
+    from repro.joins.postprocess import (
+        merge_sorted_unique,
+        pack_pair_keys,
+        unpack_pair_keys,
+    )
 
     if len(r_ids) == 0:
         return r_ids, s_ids, 0.0
@@ -1002,7 +1135,12 @@ def parallel_distinct(
         sel = dst_workers == w
         if sel.any():
             cluster.add_cost(w, "dedup", float(cost[sel].sum()))
-    uniq_r, uniq_s = unpack_pair_keys(np.unique(key))
+    # Batched distinct: per-source-worker local unique, then one k-way
+    # merge of the sorted key blocks on the driver.
+    blocks = []
+    for w in np.unique(src_workers):
+        blocks.append(np.unique(key[src_workers == w]))
+    uniq_r, uniq_s = unpack_pair_keys(merge_sorted_unique(blocks))
     return uniq_r, uniq_s, cluster.phase_makespan("dedup")
 
 

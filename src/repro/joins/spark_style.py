@@ -198,7 +198,13 @@ class _RDDJoinStage(Stage):
 
 
 class _RDDDistinctStage(Stage):
-    """Vectorized duplicate elimination, shared with the array driver."""
+    """Vectorized duplicate elimination, shared with the array driver.
+
+    Runs the batched variant: the produced pairs are split into
+    partition-sized blocks, each uniquified locally (a simulated
+    worker's half of a parallel ``distinct``), then merged with one
+    k-way pass -- bit-identical to a full-materialize ``np.unique``.
+    """
 
     name = "distinct"
     phase = "dedup"
@@ -206,10 +212,15 @@ class _RDDDistinctStage(Stage):
     def run(self, ctx: JoinContext) -> None:
         produced = ctx.data["produced"]
         if produced:
-            from repro.joins.postprocess import distinct_pairs
+            from repro.joins.postprocess import distinct_pairs_batched
 
+            cfg: _SparkStyleConfig = ctx.cfg
             arr = np.asarray(produced, dtype=np.int64)
-            uniq_r, uniq_s = distinct_pairs(arr[:, 0], arr[:, 1])
+            blocks = min(cfg.num_partitions, len(arr))
+            bounds = np.linspace(0, len(arr), blocks + 1).astype(np.int64)
+            uniq_r, uniq_s = distinct_pairs_batched(
+                arr[:, 0], arr[:, 1], block_bounds=bounds
+            )
             pairs = set(zip(uniq_r.tolist(), uniq_s.tolist()))
         else:
             pairs = set()

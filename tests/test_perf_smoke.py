@@ -7,6 +7,7 @@ trips only on a real algorithmic regression -- e.g. the vectorized
 on machine noise.
 """
 
+import os
 import time
 
 import numpy as np
@@ -125,3 +126,48 @@ def test_block_recovery_beats_full_recompute(tmp_path):
         f"did not beat full recompute ({legacy.recovery_time_model:.6f}s)"
     )
     assert stored.extra["refetch_bytes"] < legacy.extra["refetch_bytes"]
+
+
+@pytest.mark.perfsmoke
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup guard needs >= 4 host CPUs",
+)
+def test_parallel_backends_not_slower_than_serial():
+    """On a multi-core host, parallel join makespans must not lose to serial.
+
+    Runs the fused columnar path (the default) on a join big enough that
+    per-task compute dwarfs dispatch overhead, and compares the measured
+    local-join makespan (max over OS workers) across backends, best of
+    three.  The 1.1x headroom absorbs scheduler noise; an actual loss
+    means the zero-copy task path regressed into serialization-bound
+    dispatch.  Skipped below 4 cores, where the premise is false --
+    ``BENCH_backend.json`` records the honest single-core numbers.
+    """
+    from repro.data.generators import gaussian_clusters
+    from repro.joins.distance_join import JoinConfig, distance_join
+
+    r = gaussian_clusters(60_000, seed=81, name="R")
+    s = gaussian_clusters(60_000, seed=82, name="S")
+
+    def makespan(backend):
+        def run():
+            cfg = JoinConfig(
+                eps=0.01, method="lpib", num_workers=4,
+                local_kernel="grid_hash", execution_backend=backend,
+                executor_workers=4,
+            )
+            return distance_join(r, s, cfg).metrics.join_wall_makespan
+
+        best = float("inf")
+        for _ in range(3):
+            best = min(best, run())
+        return best
+
+    serial = makespan("serial")
+    for backend in ("threads", "processes"):
+        parallel = makespan(backend)
+        assert parallel <= 1.1 * serial, (
+            f"{backend} join makespan {parallel:.3f}s lost to serial "
+            f"{serial:.3f}s on {os.cpu_count()} CPUs"
+        )
