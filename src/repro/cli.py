@@ -131,6 +131,12 @@ def _validate_join_args(args: argparse.Namespace) -> str | None:
             and args.method not in GRID_METHODS):
         return (f"--spill applies to grid methods only "
                 f"({', '.join(GRID_METHODS)})")
+    if args.backend != "cluster":
+        for flag, value in (("--cluster-daemons", args.cluster_daemons),
+                            ("--heartbeat-interval", args.heartbeat_interval),
+                            ("--heartbeat-timeout", args.heartbeat_timeout)):
+            if value is not None:
+                return f"{flag} requires --backend cluster"
     if args.trace_format is not None and args.trace is None:
         return "--trace-format requires --trace"
     if args.quiet and args.log_level not in (None, "quiet"):
@@ -152,6 +158,12 @@ def _execution_options(args: argparse.Namespace) -> dict:
     }
     if args.task_timeout is not None:
         options["task_timeout"] = args.task_timeout
+    if args.cluster_daemons is not None:
+        options["cluster_daemons"] = args.cluster_daemons
+    if args.heartbeat_interval is not None:
+        options["heartbeat_interval"] = args.heartbeat_interval
+    if args.heartbeat_timeout is not None:
+        options["heartbeat_timeout"] = args.heartbeat_timeout
     if args.faults is not None:
         options["faults"] = args.faults.with_seed(args.fault_seed)
     if args.spill != "none":
@@ -444,6 +456,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="snapshot per-cell partial results so killed "
                            "task attempts salvage finished cells "
                            "(requires --spill)")
+    join.add_argument("--cluster-daemons", type=_positive_int, default=None,
+                      metavar="N",
+                      help="worker daemons of the cluster backend "
+                           "(requires --backend cluster; default: one per "
+                           "CPU, at most one per task)")
+    join.add_argument("--heartbeat-interval", type=_positive_float,
+                      default=None, metavar="SECONDS",
+                      help="seconds between cluster daemon liveness beats "
+                           "(requires --backend cluster)")
+    join.add_argument("--heartbeat-timeout", type=_positive_float,
+                      default=None, metavar="SECONDS",
+                      help="heartbeat silence after which a cluster daemon "
+                           "is declared lost and its tasks are re-run "
+                           "(requires --backend cluster)")
     join.add_argument("--base-n", type=int, default=DEFAULT_BASE_N,
                       help="cardinality for generated datasets")
     join.add_argument("--payload", type=int, default=0, help="payload bytes per tuple")

@@ -21,6 +21,7 @@ from repro.engine.blockstore.checkpoint import CellCheckpoint, CheckpointManager
 from repro.engine.blockstore.store import (
     SPILL_TIERS,
     BlockId,
+    BlockLost,
     BlockMeta,
     BlockStore,
     SpillConfig,
@@ -29,6 +30,7 @@ from repro.engine.blockstore.store import (
 __all__ = [
     "SPILL_TIERS",
     "BlockId",
+    "BlockLost",
     "BlockMeta",
     "BlockStore",
     "CellCheckpoint",

@@ -100,6 +100,11 @@ class CheckpointManager:
             else:
                 self._dir = tempfile.mkdtemp(prefix="repro-ckpt-")
                 self._owns_dir = True
+            if self._owns_dir:
+                from repro.engine.hygiene import write_owner_marker
+
+                # pid-tag owned dirs for the startup hygiene sweep
+                write_owner_marker(self._dir)
         return self._dir
 
     def _path(self, pos: int) -> str:

@@ -33,12 +33,33 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import zipfile
+
 import numpy as np
 
+from repro.engine.hygiene import write_owner_marker
 from repro.engine.telemetry import get_logger
 
 #: Spill tiers accepted by :class:`SpillConfig` (``none`` disables the store).
 SPILL_TIERS = ("none", "memory", "disk")
+
+
+class BlockLost(RuntimeError):
+    """A spilled block's file is gone or unreadable (truncated/corrupt).
+
+    Raised by :meth:`BlockStore.fetch` when the disk tier cannot read a
+    block back.  The block is marked dropped, so callers that route the
+    miss through the normal refetch path (recompute the block's records
+    from the source partition) heal the loss instead of crashing.
+    """
+
+    def __init__(self, block_id: "BlockId", cause: BaseException):
+        self.block_id = block_id
+        self.cause_type = type(cause).__name__
+        super().__init__(
+            f"spilled block {block_id.filename()!r} unreadable "
+            f"({self.cause_type}: {cause})"
+        )
 
 
 @dataclass(frozen=True)
@@ -189,6 +210,11 @@ class BlockStore:
                 self._dir = tempfile.mkdtemp(prefix="repro-spill-")
                 self._owns_dir = True
                 self._log.debug("spilling to temp directory %r", self._dir)
+            if self._owns_dir:
+                # tag owned dirs with our pid so a crashed run's leftover
+                # directory can be swept by the next run's startup
+                # hygiene (see repro.engine.hygiene)
+                write_owner_marker(self._dir)
         return self._dir
 
     @property
@@ -277,8 +303,33 @@ class BlockStore:
             return meta, self._mem[block_id]
         if meta.location == "disk":
             path = os.path.join(self._directory(), block_id.filename())
-            with np.load(path) as payload:
-                arrays = {key: payload[key] for key in payload.files}
+            try:
+                with np.load(path) as payload:
+                    arrays = {key: payload[key] for key in payload.files}
+            except (OSError, ValueError, EOFError, KeyError,
+                    zipfile.BadZipFile) as exc:
+                # the file is gone, truncated, or corrupt: demote the
+                # block to dropped (so a later fetch is a plain miss) and
+                # raise the typed loss for the refetch path to heal
+                meta.location = "dropped"
+                self.blocks_dropped += 1
+                self.misses += 1
+                self._files.discard(path)
+                self.bytes_on_disk -= meta.nbytes
+                self._log.warning(
+                    "spilled block %s unreadable (%s); marked dropped",
+                    block_id.filename(), type(exc).__name__,
+                )
+                if self._tracer is not None and self._tracer.enabled:
+                    self._tracer.event(
+                        "block_lost",
+                        cat="blockstore",
+                        side=block_id.side,
+                        src=block_id.src,
+                        dst=block_id.dst,
+                        error_type=type(exc).__name__,
+                    )
+                raise BlockLost(block_id, exc) from exc
             self.hits += 1
             self.fetched_bytes += meta.bytes
             return meta, arrays

@@ -1,0 +1,33 @@
+"""Real multi-process cluster backend (localhost shared-nothing).
+
+Long-lived worker daemons over sockets, a coordinating scheduler with
+heartbeat failure detection, a real shuffle data plane (remote block
+fetch with timeout/retry/backoff and coordinator fallback), elastic
+membership, and bounded respawn.  Entered through the executor's
+``cluster`` backend; degrades to ``processes`` when unavailable.
+See ``docs/CLUSTER.md``.
+"""
+
+from repro.engine.cluster_backend.coordinator import (
+    ClusterConfig,
+    ClusterService,
+    ClusterUnavailable,
+    DaemonLost,
+    RemoteTaskError,
+    run_cluster_tier,
+)
+from repro.engine.cluster_backend.protocol import (
+    BlockUnavailable,
+    ConnectionClosed,
+)
+
+__all__ = [
+    "BlockUnavailable",
+    "ClusterConfig",
+    "ClusterService",
+    "ClusterUnavailable",
+    "ConnectionClosed",
+    "DaemonLost",
+    "RemoteTaskError",
+    "run_cluster_tier",
+]

@@ -1,0 +1,85 @@
+"""Socket wire protocol shared by the cluster coordinator and daemons.
+
+Messages are ``(type, payload)`` tuples, pickled and framed with a
+4-byte big-endian length prefix.  Both sides speak the same half-duplex
+request/response or fire-and-forget patterns over plain TCP on
+localhost; nothing here assumes a trusted network beyond that (the
+backend is a shared-nothing *process* cluster, not a distributed
+deployment -- see ``docs/CLUSTER.md``).
+
+Control-plane messages (daemon control connection)::
+
+    daemon -> coordinator: ("hello", {daemon, pid, block_port})
+                           ("hb", {daemon, beat})
+                           ("ack", {tag})
+                           ("result", {task, attempt, results, elapsed,
+                                       spans, refetched})
+                           ("failed", {task, attempt, error_type,
+                                       error_message, spans})
+                           ("goodbye", {daemon})
+    coordinator -> daemon: ("blocks", {entries, tag})
+                           ("task", {...})
+                           ("stop", {})
+
+Data-plane messages (one fresh connection per fetch)::
+
+    fetcher -> holder:     ("fetch", {key})
+    holder  -> fetcher:    ("block", {found, arrays})
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+_HEADER = struct.Struct(">I")
+
+#: Frames above this size indicate a corrupted stream, not a real message.
+MAX_FRAME_BYTES = 1 << 31
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the socket mid-conversation (EOF)."""
+
+
+class BlockUnavailable(RuntimeError):
+    """A shuffle block could not be fetched from any live copy."""
+
+
+def send_msg(sock: socket.socket, message) -> None:
+    """Pickle and send one length-prefixed message."""
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ConnectionClosed`."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed with {remaining} of {count} byte(s) unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket):
+    """Receive one framed message (blocking, honours the socket timeout)."""
+    header = recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:  # pragma: no cover - corrupted stream
+        raise ConnectionError(f"implausible frame length {length}")
+    return pickle.loads(recv_exact(sock, length))
+
+
+def request(host: str, port: int, message, timeout: float):
+    """One-shot request/response on a fresh connection."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        send_msg(sock, message)
+        return recv_msg(sock)

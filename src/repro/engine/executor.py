@@ -11,7 +11,13 @@ be compared against a measured one.  Three backends share one code path:
 * ``processes`` -- a process pool; the per-cell (R, S) array bundles are
   published once through ``multiprocessing.shared_memory`` (one
   contiguous block per side plus a per-cell offset table) so workers
-  attach zero-copy instead of unpickling per-cell payloads.
+  attach zero-copy instead of unpickling per-cell payloads;
+* ``cluster``   -- a real shared-nothing process cluster on localhost:
+  long-lived worker daemons over sockets, heartbeat failure detection,
+  and a shuffle data plane serving ``(side, src, dst)`` blocks to remote
+  fetches (see :mod:`repro.engine.cluster_backend` and
+  ``docs/CLUSTER.md``).  Degrades to ``processes`` when daemons cannot
+  start.
 
 Cells are grouped by their simulated worker (the LPT or hash assignment
 from the driver), one task per simulated worker, so the measured
@@ -54,6 +60,7 @@ salvaged -- so a faulted run is bit-identical to a fault-free one.
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
 from collections import defaultdict
@@ -75,10 +82,15 @@ from repro.engine.telemetry import MetricsRegistry, Tracer, get_logger
 from typing import Mapping
 
 #: Execution backends accepted by :func:`execute_plan`.
-BACKENDS = ("serial", "threads", "processes")
+BACKENDS = ("serial", "threads", "processes", "cluster")
 
 #: Where each backend falls back to when it cannot finish a task.
-_FALLBACK = {"processes": "threads", "threads": "serial", "serial": None}
+_FALLBACK = {
+    "cluster": "processes",
+    "processes": "threads",
+    "threads": "serial",
+    "serial": None,
+}
 
 #: Scheduler wake-up interval (seconds) while waiting on pool futures.
 _TICK = 0.02
@@ -213,6 +225,21 @@ class ExecutionReport:
     #: Per plan position: times a re-submission skipped the position
     #: because a checkpoint covered it (modelled recovery savings).
     salvage_counts: np.ndarray = field(default_factory=lambda: _EMPTY.copy())
+
+    # ------------------------------------------------------------------
+    # cluster backend (see repro.engine.cluster_backend)
+    # ------------------------------------------------------------------
+    #: Shuffle blocks whose primary copy was lost and that were re-read
+    #: from the coordinator's authoritative copy instead.
+    blocks_refetched: int = 0
+    #: Block fetches the coordinator served as the fallback holder.
+    fallback_fetches: int = 0
+    #: Daemon processes started over the job (initial members + respawns).
+    daemons_spawned: int = 0
+    #: Daemons declared lost (heartbeat silence or connection EOF).
+    daemons_lost: int = 0
+    #: Lost daemons that turned out alive and rejoined (false positives).
+    daemon_rejoins: int = 0
 
     @property
     def wall_makespan(self) -> float:
@@ -540,12 +567,31 @@ def _run_group_guarded(
 # ----------------------------------------------------------------------
 # the processes backend: shared-memory blocks, one per side
 # ----------------------------------------------------------------------
-def _side_to_shm(ids: np.ndarray, xs: np.ndarray, ys: np.ndarray):
-    """Copy one side's arrays into a single shared block ``[ids|xs|ys]``."""
+_SHM_SEQ = itertools.count()
+
+
+def _new_shm(size: int):
+    """Create a shared-memory segment named ``repro_<pid>_<seq>_<nonce>``.
+
+    Embedding the owner pid in the name lets a later run's startup
+    hygiene sweep (:mod:`repro.engine.hygiene`) attribute a leaked
+    segment to its (dead) creator and reclaim it; anonymous ``psm_*``
+    names are unattributable and leak forever after a SIGKILL.
+    """
     from multiprocessing import shared_memory
 
+    while True:
+        name = f"repro_{os.getpid()}_{next(_SHM_SEQ)}_{os.urandom(3).hex()}"
+        try:
+            return shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:  # pragma: no cover - nonce collision
+            continue
+
+
+def _side_to_shm(ids: np.ndarray, xs: np.ndarray, ys: np.ndarray):
+    """Copy one side's arrays into a single shared block ``[ids|xs|ys]``."""
     n = len(ids)
-    shm = shared_memory.SharedMemory(create=True, size=max(1, 3 * 8 * n))
+    shm = _new_shm(max(1, 3 * 8 * n))
     if n:
         np.ndarray(n, dtype=np.int64, buffer=shm.buf, offset=0)[:] = ids
         np.ndarray(n, dtype=np.float64, buffer=shm.buf, offset=8 * n)[:] = xs
@@ -586,8 +632,6 @@ def _plan_meta_to_shm(plan: ExecutionPlan, tasks: Mapping[int, np.ndarray]):
     boundary.  Returns ``(shm, pos_desc)`` with ``pos_desc`` mapping
     worker id to its descriptor.
     """
-    from multiprocessing import shared_memory
-
     n = plan.num_cells
     has_origins = plan.origins is not None
     pos_desc: dict[int, tuple[int, int]] = {}
@@ -597,7 +641,7 @@ def _plan_meta_to_shm(plan: ExecutionPlan, tasks: Mapping[int, np.ndarray]):
         total += len(positions)
     (cells_off, workers_off, r_off_off, s_off_off, origins_off,
      positions_off, size) = _plan_meta_layout(n, has_origins, total)
-    shm = shared_memory.SharedMemory(create=True, size=max(1, size))
+    shm = _new_shm(max(1, size))
 
     def sect(count, dtype, offset):
         return np.ndarray(count, dtype=dtype, buffer=shm.buf, offset=offset)
@@ -1198,6 +1242,7 @@ def execute_plan(
     tracer: Tracer | None = None,
     registry: MetricsRegistry | None = None,
     batch_kernels: bool = False,
+    cluster=None,
 ) -> ExecutionReport:
     """Run every cell's local join on the chosen backend, fault tolerantly.
 
@@ -1226,6 +1271,10 @@ def execute_plan(
     bit-identical either way; the batched pass is skipped automatically
     when ``checkpoints`` is set, since per-cell snapshots need the
     per-cell loop.
+
+    ``cluster`` tunes the ``cluster`` backend: a
+    :class:`~repro.engine.cluster_backend.ClusterConfig`, a mapping of
+    its fields, or ``None`` for defaults.  Ignored by other backends.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -1321,6 +1370,31 @@ def execute_plan(
                 plan, remaining, kernel_name, eps, faults, policy, state,
                 report, absorb, prepare, checkpoints, batch_kernels,
             )
+        elif tier == "cluster":
+            from repro.engine.cluster_backend import (
+                ClusterConfig,
+                ClusterUnavailable,
+                run_cluster_tier,
+            )
+
+            cluster_cfg = ClusterConfig.coerce(cluster)
+            n_daemons = cluster_cfg.daemons or max_workers or min(
+                len(remaining), os.cpu_count() or 1
+            )
+            n_daemons = max(1, n_daemons)
+            if tier == backend:
+                report.os_workers = n_daemons
+            try:
+                remaining = run_cluster_tier(
+                    plan, remaining, kernel_name, eps, faults, policy,
+                    state, report, absorb, prepare, checkpoints,
+                    batch_kernels, cluster_cfg, n_daemons,
+                )
+            except ClusterUnavailable as exc:
+                # the cluster never came up; no task was attempted, so
+                # `remaining` is untouched and the degradation machinery
+                # below moves the whole batch to the processes tier
+                state.last_error = exc
         else:
             os_workers = max_workers or min(len(remaining), os.cpu_count() or 1)
             os_workers = max(1, min(os_workers, len(remaining)))

@@ -147,6 +147,17 @@ class JoinConfig:
     checkpoint_cells: bool = False
     #: Memory-tier byte budget before LRU eviction (``None``: unbounded).
     spill_memory_limit_bytes: int | None = None
+    #: ``cluster`` backend: worker daemons to spawn (``None``: one per
+    #: host CPU, at most one per task).
+    cluster_daemons: int | None = None
+    #: ``cluster`` backend: seconds between daemon liveness beats.
+    heartbeat_interval: float = 0.05
+    #: ``cluster`` backend: heartbeat silence (seconds) after which a
+    #: daemon is declared lost and its tasks re-run elsewhere.
+    heartbeat_timeout: float = 2.0
+    #: ``cluster`` backend: per-fetch socket timeout for remote shuffle
+    #: block reads.
+    fetch_timeout: float = 2.0
     #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle (span
     #: tracer + metrics registry); ``None`` keeps tracing disabled.
     telemetry: Telemetry | None = None

@@ -134,6 +134,11 @@ class ObjectJoinConfig:
     checkpoint_cells: bool = False
     spill_memory_limit_bytes: int | None = None
     memory_limit_bytes: int | None = None
+    #: ``cluster`` backend tunables (see the point driver's JoinConfig).
+    cluster_daemons: int | None = None
+    heartbeat_interval: float = 0.05
+    heartbeat_timeout: float = 2.0
+    fetch_timeout: float = 2.0
     #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle (span
     #: tracer + metrics registry); ``None`` keeps tracing disabled.
     telemetry: Telemetry | None = None

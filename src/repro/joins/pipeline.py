@@ -62,6 +62,7 @@ from repro.agreements.policies import (
 )
 from repro.engine.blockstore import (
     BlockId,
+    BlockLost,
     BlockStore,
     CheckpointManager,
     SpillConfig,
@@ -80,7 +81,7 @@ from repro.engine.lpt import lpt_assignment
 from repro.engine.metrics import CostModel, JoinMetrics, PhaseTimer
 from repro.engine.partitioner import ExplicitPartitioner
 from repro.engine.shuffle import ShuffleStats
-from repro.engine.telemetry import MetricsRegistry, Telemetry, Tracer
+from repro.engine.telemetry import MetricsRegistry, Telemetry, Tracer, get_logger
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
 from repro.grid.statistics import GridStatistics
@@ -134,6 +135,12 @@ class ExecutionSettings:
     checkpoint_cells: bool = False
     spill_memory_limit_bytes: int | None = None
     memory_limit_bytes: int | None = None
+    #: ``cluster`` backend tunables (see :mod:`repro.engine.cluster_backend`;
+    #: ignored by the other backends).
+    cluster_daemons: int | None = None
+    heartbeat_interval: float = 0.05
+    heartbeat_timeout: float = 2.0
+    fetch_timeout: float = 2.0
     #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle
     #: (tracer + metrics registry).  ``None`` means tracing disabled with
     #: a private throwaway registry -- the always-on default.
@@ -177,6 +184,19 @@ class ExecutionSettings:
             memory_limit_bytes=self.spill_memory_limit_bytes,
             checkpoint_cells=self.checkpoint_cells,
         )
+
+    def cluster_config(self) -> dict:
+        """The ``cluster``-backend tunables as :func:`execute_plan` kwargs.
+
+        A plain mapping (not a ``ClusterConfig``) so the pipeline never
+        imports the cluster backend unless the backend is actually used.
+        """
+        return {
+            "daemons": self.cluster_daemons,
+            "heartbeat_interval": self.heartbeat_interval,
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "fetch_timeout": self.fetch_timeout,
+        }
 
 
 @dataclass
@@ -581,7 +601,16 @@ def refetch_blocks(
     logical = 0
     cost = 0.0
     for side in ("R", "S"):
-        meta, arrays = store.fetch(BlockId(side, lost_src, dst))
+        try:
+            meta, arrays = store.fetch(BlockId(side, lost_src, dst))
+        except BlockLost as exc:
+            # the spilled file itself is unreadable (truncated/corrupt):
+            # same recovery as a dropped block -- regenerate the records
+            # from the source split at the remote rate
+            meta, arrays = store.meta(BlockId(side, lost_src, dst)), None
+            get_logger("repro.joins.pipeline").warning(
+                "refetch hit corrupt block: %s", exc
+            )
         if meta is None:
             continue  # this side sent nothing along that shuffle edge
         if arrays is not None:
@@ -921,6 +950,7 @@ class LocalJoinStage(Stage):
             tracer=ctx.tracer,
             registry=ctx.registry,
             batch_kernels=self.batch_kernels,
+            cluster=ctx.settings.cluster_config(),
         )
         ctx.data["plan"] = plan
         ctx.data["report"] = report
@@ -1080,6 +1110,27 @@ class JoinAccountingStage(Stage):
             metrics.extra["degraded_steps"] = float(len(report.degraded))
         if report.pool_rebuilds:
             metrics.extra["pool_rebuilds"] = float(report.pool_rebuilds)
+        # cluster backend: fold executor-level shuffle refetches into the
+        # run's refetch gauge (additive with the simulated fetch-fault
+        # path) and surface the daemon lifecycle counters
+        if report.blocks_refetched:
+            metrics.blocks_refetched += report.blocks_refetched
+            reg.gauge("blockstore.blocks_refetched").set(
+                metrics.blocks_refetched
+            )
+            metrics.extra["cluster_blocks_refetched"] = float(
+                report.blocks_refetched
+            )
+        if report.daemons_spawned:
+            metrics.extra["cluster_daemons_spawned"] = float(
+                report.daemons_spawned
+            )
+        if report.daemons_lost:
+            metrics.extra["cluster_daemons_lost"] = float(report.daemons_lost)
+        if report.daemon_rejoins:
+            metrics.extra["cluster_daemon_rejoins"] = float(
+                report.daemon_rejoins
+            )
 
 
 # ----------------------------------------------------------------------

@@ -1,8 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the per-test alarm for the test suite."""
 
 from __future__ import annotations
 
 import itertools
+import signal
 
 import pytest
 
@@ -11,6 +12,52 @@ from repro.data.generators import gaussian_clusters
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Side
 from repro.grid.grid import Grid
+
+
+# ----------------------------------------------------------------------
+# per-test alarm (pytest-timeout equivalent, stdlib-only)
+# ----------------------------------------------------------------------
+#: Default deadline for tests marked ``cluster``: a hung daemon or a
+#: deadlocked socket must fail the chaos suite in seconds, not wedge CI.
+CLUSTER_TEST_TIMEOUT = 120.0
+
+
+class DeadlineExceeded(Exception):
+    """A test ran past its ``timeout`` marker (or the cluster default)."""
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Arm a SIGALRM deadline around each test that declares one.
+
+    ``@pytest.mark.timeout(seconds)`` sets an explicit deadline; tests
+    marked ``cluster`` get :data:`CLUSTER_TEST_TIMEOUT` by default.
+    SIGALRM interval timers are *not* inherited across ``fork``, so
+    daemon processes spawned inside a test are unaffected.  Main-thread
+    only (pytest runs tests on the main thread).
+    """
+    marker = item.get_closest_marker("timeout")
+    seconds = None
+    if marker is not None and marker.args:
+        seconds = float(marker.args[0])
+    elif item.get_closest_marker("cluster") is not None:
+        seconds = CLUSTER_TEST_TIMEOUT
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise DeadlineExceeded(
+            f"{item.nodeid} exceeded its {seconds:g}s deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

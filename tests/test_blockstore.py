@@ -247,3 +247,100 @@ class TestCheckpointManager:
             f.write(b"not an npz")  # a kill mid-write leaves garbage
         assert mgr.load(5) is None
         mgr.close()
+
+
+# ----------------------------------------------------------------------
+# disk-tier corruption: an unreadable spill file is a typed, healable
+# loss (BlockLost), never a crash and never a silent wrong answer
+# ----------------------------------------------------------------------
+class TestBlockLoss:
+    @staticmethod
+    def damage_file(path, mode):
+        if mode == "truncated":
+            with open(path, "r+b") as fh:
+                fh.truncate(7)  # a kill mid-write leaves a partial zip
+        elif mode == "garbage":
+            with open(path, "wb") as fh:
+                fh.write(b"this is not an npz archive")
+        else:  # deleted
+            os.unlink(path)
+
+    @pytest.mark.parametrize("damage", ("truncated", "garbage", "deleted"))
+    def test_unreadable_block_raises_blocklost(self, tmp_path, damage):
+        from repro.engine.blockstore import BlockLost
+
+        with BlockStore("disk", spill_dir=str(tmp_path)) as store:
+            bid = BlockId("R", 0, 1)
+            arrays = block_arrays(30)
+            store.put(bid, arrays, records=30, logical_bytes=30 * 32)
+            path = tmp_path / bid.filename()
+            assert path.exists()
+            self.damage_file(str(path), damage)
+
+            with pytest.raises(BlockLost, match="unreadable") as exc:
+                store.fetch(bid)
+            assert exc.value.block_id == bid
+            assert store.blocks_dropped == 1
+            meta = store.meta(bid)
+            assert meta.location == "dropped"
+            # a later fetch is a plain miss (meta, None), not a re-raise
+            meta_again, back = store.fetch(bid)
+            assert meta_again is meta
+            assert back is None
+
+    def test_healthy_blocks_unaffected_by_sibling_loss(self, tmp_path):
+        from repro.engine.blockstore import BlockLost
+
+        with BlockStore("disk", spill_dir=str(tmp_path)) as store:
+            bad, good = BlockId("R", 0, 1), BlockId("S", 0, 1)
+            store.put(bad, block_arrays(10), records=10, logical_bytes=320)
+            store.put(good, block_arrays(20, seed=1), records=20,
+                      logical_bytes=640)
+            self.damage_file(str(tmp_path / bad.filename()), "garbage")
+            with pytest.raises(BlockLost):
+                store.fetch(bad)
+            meta, back = store.fetch(good)
+            assert meta.location == "disk"
+            assert np.array_equal(back["points"],
+                                  block_arrays(20, seed=1)["points"])
+
+    def test_pipeline_heals_corrupt_block_via_refetch(self, tmp_path,
+                                                      monkeypatch):
+        """End to end: a fetch fault forces a block refetch; the spilled
+        file has been corrupted in the meantime; recovery must fall back
+        to regenerating the records and still return the exact answer."""
+        from repro.data.generators import gaussian_clusters
+        from repro.engine.blockstore.store import BlockStore as StoreCls
+        from repro.joins.distance_join import JoinConfig, distance_join
+
+        r = gaussian_clusters(420, seed=51, name="R")
+        s = gaussian_clusters(380, seed=52, name="S")
+        base = dict(eps=0.02, method="lpib", num_workers=3,
+                    local_kernel="plane_sweep")
+        clean = distance_join(r, s, JoinConfig(**base))
+
+        sabotaged = []
+        orig_fetch = StoreCls.fetch
+
+        def sabotaging_fetch(self, block_id):
+            # corrupt the file under the store's feet on the first
+            # disk-resident fetch (i.e. the first recovery refetch)
+            meta = self.meta(block_id)
+            if not sabotaged and meta is not None and meta.location == "disk":
+                path = os.path.join(self._directory(), block_id.filename())
+                TestBlockLoss.damage_file(path, "truncated")
+                sabotaged.append(block_id)
+            return orig_fetch(self, block_id)
+
+        monkeypatch.setattr(StoreCls, "fetch", sabotaging_fetch)
+        spill_dir = tmp_path / "spill"
+        res = distance_join(r, s, JoinConfig(
+            **base, execution_backend="threads", executor_workers=2,
+            faults="fetch:p=1:times=1", max_retries=3,
+            spill="disk", spill_dir=str(spill_dir), checkpoint_cells=True,
+        ))
+        assert sabotaged, "no refetch ever touched a disk block"
+        assert np.array_equal(res.r_ids, clean.r_ids)
+        assert np.array_equal(res.s_ids, clean.s_ids)
+        assert res.metrics.blocks_refetched > 0
+        assert not spill_dir.exists() or list(spill_dir.iterdir()) == []

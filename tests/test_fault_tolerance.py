@@ -320,7 +320,7 @@ class TestExecutorRecovery:
             )
         leaked = {
             name for name in set(os.listdir("/dev/shm")) - before
-            if name.startswith("psm_")
+            if name.startswith(("psm_", "repro_"))
         }
         assert not leaked, f"leaked shared-memory segments: {leaked}"
 
@@ -336,7 +336,7 @@ class TestExecutorRecovery:
         )
         leaked = {
             name for name in set(os.listdir("/dev/shm")) - before
-            if name.startswith("psm_")
+            if name.startswith(("psm_", "repro_"))
         }
         assert not leaked, f"leaked shared-memory segments: {leaked}"
 
