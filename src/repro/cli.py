@@ -8,6 +8,11 @@ Four subcommands cover the everyday workflows:
 * ``repro predict`` -- analytic cost predictions and a method
   recommendation for a workload, without running the join.
 * ``repro generate`` -- write one of the paper's datasets as a text file.
+* ``repro serve`` -- start the resident join server (datasets stay
+  loaded, construction artifacts and results are cached across queries;
+  see docs/SERVING.md).
+* ``repro query`` -- talk to a running server: register datasets, run
+  joins, fetch stats, shut it down.
 
 Installed as the ``repro`` console script; also runnable with
 ``python -m repro.cli``.
@@ -80,6 +85,30 @@ def _fault_spec(text: str) -> FaultPlan:
         return FaultPlan.parse(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+def _port(text: str) -> int:
+    """argparse type: a TCP port in [1, 65535]."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not (1 <= value <= 65535):
+        raise argparse.ArgumentTypeError(
+            f"port must be in [1, 65535], got {value}"
+        )
+    return value
+
+
+def _register_spec(text: str) -> tuple[str, str]:
+    """argparse type: a ``NAME=SPEC`` dataset registration."""
+    name, sep, spec = text.partition("=")
+    if not sep or not name or not spec:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=SPEC (a codename like R1 or an id,x,y file), "
+            f"got {text!r}"
+        )
+    return name, spec
 
 
 def _load_input(spec: str, base_n: int, payload: int):
@@ -397,6 +426,191 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: One-shot-only ``repro join`` flags that trap with a targeted error
+#: when combined with the serving commands (dest, flag string).
+_ONE_SHOT_TRAPS = (
+    ("faults", "--faults"),
+    ("fault_seed", "--fault-seed"),
+    ("spill", "--spill"),
+    ("spill_dir", "--spill-dir"),
+    ("checkpoint_cells", "--checkpoint-cells"),
+    ("task_timeout", "--task-timeout"),
+)
+
+
+def _add_one_shot_traps(parser: argparse.ArgumentParser) -> None:
+    """Accept (then reject with a clear message) one-shot-only flags."""
+    for dest, flag in _ONE_SHOT_TRAPS:
+        if dest in ("checkpoint_cells",):
+            parser.add_argument(flag, dest=dest, action="store_true",
+                                default=None, help=argparse.SUPPRESS)
+        else:
+            parser.add_argument(flag, dest=dest, default=None,
+                                help=argparse.SUPPRESS)
+
+
+def _one_shot_trap_error(args: argparse.Namespace, command: str) -> str | None:
+    for dest, flag in _ONE_SHOT_TRAPS:
+        if getattr(args, dest, None) is not None:
+            return (f"{flag} is a one-shot `repro join` flag: fault "
+                    f"injection, spill tiers and straggler policy do not "
+                    f"apply to `repro {command}` (the server owns its "
+                    f"execution policy; see docs/SERVING.md)")
+    return None
+
+
+def _validate_serve_args(args: argparse.Namespace) -> str | None:
+    """Semantic validation of ``repro serve``; error line or ``None``."""
+    trap = _one_shot_trap_error(args, "serve")
+    if trap is not None:
+        return trap
+    if args.socket is not None and args.port is not None:
+        return ("--socket and --port are mutually exclusive: the server "
+                "listens on one unix socket or one localhost TCP port")
+    if args.host != "127.0.0.1" and args.port is None:
+        return "--host requires --port (unix sockets have no host)"
+    return None
+
+
+def _validate_query_args(args: argparse.Namespace) -> str | None:
+    """Semantic validation of ``repro query``; error line or ``None``."""
+    trap = _one_shot_trap_error(args, "query")
+    if trap is not None:
+        return trap
+    if (args.socket is None) == (args.port is None):
+        return ("provide exactly one of --socket and --port (where the "
+                "server listens)")
+    if args.host != "127.0.0.1" and args.port is None:
+        return "--host requires --port (unix sockets have no host)"
+    wants_join = any(
+        v is not None for v in (args.r, args.s, args.eps)
+    )
+    if wants_join and not (args.r and args.s and args.eps is not None):
+        return "--r, --s and --eps must be given together for a join query"
+    if not (wants_join or args.register or args.stats or args.ping
+            or args.shutdown_server):
+        return ("nothing to do: give a query (--r/--s/--eps), --register, "
+                "--stats, --ping or --shutdown-server")
+    return None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    error = _validate_serve_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    level = "quiet" if args.quiet else args.log_level
+    if level is not None:
+        configure_logging(level)
+    from repro.serving import JoinServer, ServerConfig
+
+    try:
+        config = ServerConfig(
+            socket_path=args.socket,
+            port=args.port,
+            host=args.host,
+            cache_budget_bytes=int(args.cache_budget_mb * 1e6),
+            result_cache_bytes=int(args.result_cache_mb * 1e6),
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            backend=args.backend,
+            executor_workers=args.executor_workers,
+            default_workers=args.workers,
+            sweep_on_start=not args.no_sweep,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    server = JoinServer(config)
+    for name, spec in args.register or ():
+        server.datasets.register_spec(
+            name, spec, base_n=args.base_n, payload_bytes=args.payload
+        )
+        if not args.quiet:
+            print(f"registered {name} <- {spec}")
+
+    import asyncio as _asyncio
+
+    async def _main():
+        await server.start()
+        if not args.quiet:
+            print(f"join server listening on {server.address} "
+                  f"(backend={config.backend}); ctrl-c stops it")
+        await server.serve_until_shutdown()
+
+    try:
+        _asyncio.run(_main())
+    except KeyboardInterrupt:
+        _asyncio.run(server.stop())
+        if not args.quiet:
+            print("interrupted; server stopped")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    error = _validate_query_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    from repro.serving import JoinClient, ServerError
+
+    try:
+        client = JoinClient(
+            socket_path=args.socket, host=args.host, port=args.port,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot reach the server: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.ping:
+            pong = client.ping()
+            print(f"server pid {pong['pid']} up {pong['uptime_seconds']:.1f}s "
+                  f"(backend={pong['backend']})")
+        for name, spec in args.register or ():
+            entry = client.register(
+                name, spec, base_n=args.base_n, payload=args.payload
+            )
+            print(f"registered {entry['name']}: {entry['n']:,} points "
+                  f"(fingerprint {entry['fingerprint']})")
+        if args.r is not None:
+            fields = {
+                "method": args.method,
+                "kernel": args.kernel,
+                "workers": args.workers,
+                "seed": args.seed,
+                "max_pairs": args.show_pairs,
+                "report": args.report,
+            }
+            if args.no_reuse_results:
+                fields["reuse_results"] = False
+            response = client.query(args.r, args.s, args.eps, **fields)
+            m = response["metrics"]
+            source = ("result cache" if response["cached_result"]
+                      else "warm build" if response["warm_artifacts"]
+                      else "cold build")
+            print(f"results: {response['results']:,} pairs [{source}] "
+                  f"in {response['latency_seconds'] * 1000:.1f}ms "
+                  f"(method={m['method']}, eps={m['eps']})")
+            for rid, sid in response["pairs"][: args.show_pairs or 0]:
+                print(f"  ({rid}, {sid})")
+            if args.report and response.get("report"):
+                print(response["report"])
+        if args.stats:
+            import json as _json
+
+            print(_json.dumps(client.stats(), indent=2, default=str))
+        if args.shutdown_server:
+            client.shutdown()
+            print("server shutting down")
+    except (ServerError, ConnectionError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -523,6 +737,103 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--quick", action="store_true")
     rep.add_argument("--only", nargs="*", help="experiment ids to include")
     rep.set_defaults(fn=_cmd_report)
+
+    from repro.serving.server import SERVING_BACKENDS
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the resident join server (see docs/SERVING.md)",
+    )
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="unix socket to listen on (default: a "
+                            "pid-stamped socket in the server's state "
+                            "directory, printed at startup)")
+    serve.add_argument("--port", type=_port, default=None,
+                       help="listen on this localhost TCP port instead of "
+                            "a unix socket")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port (default 127.0.0.1)")
+    serve.add_argument("--backend", choices=SERVING_BACKENDS,
+                       default="serial",
+                       help="execution backend every query runs on (the "
+                            "cluster backend is one-shot only)")
+    serve.add_argument("--executor-workers", type=_positive_int,
+                       default=None, metavar="N",
+                       help="OS-level worker cap of the parallel backends")
+    serve.add_argument("--workers", type=_positive_int, default=12,
+                       help="default simulated workers for queries that do "
+                            "not set their own")
+    serve.add_argument("--cache-budget-mb", type=_positive_float,
+                       default=256.0, metavar="MB",
+                       help="artifact-cache byte budget (grids, agreement "
+                            "graphs, samples, partitioner placements)")
+    serve.add_argument("--result-cache-mb", type=_positive_float,
+                       default=64.0, metavar="MB",
+                       help="cross-query result-cache byte budget (the "
+                            "server-lifetime block store)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=2,
+                       help="queries executing concurrently")
+    serve.add_argument("--max-queue", type=_nonnegative_int, default=16,
+                       help="queries allowed to wait for a slot before the "
+                            "server rejects with an overload error")
+    serve.add_argument("--register", type=_register_spec, action="append",
+                       metavar="NAME=SPEC",
+                       help="pre-register a dataset at startup (codename "
+                            "like R1 or an id,x,y file); repeatable")
+    serve.add_argument("--base-n", type=int, default=DEFAULT_BASE_N,
+                       help="cardinality for pre-registered codenames")
+    serve.add_argument("--payload", type=int, default=0,
+                       help="payload bytes per tuple for pre-registered "
+                            "datasets")
+    serve.add_argument("--no-sweep", action="store_true",
+                       help="skip the startup hygiene sweep of stale "
+                            "server state dirs and sockets")
+    serve.add_argument("--log-level", choices=LOG_LEVELS, default=None)
+    serve.add_argument("--quiet", action="store_true")
+    _add_one_shot_traps(serve)
+    serve.set_defaults(fn=_cmd_serve)
+
+    query = sub.add_parser(
+        "query",
+        help="talk to a running join server (register/query/stats)",
+    )
+    query.add_argument("--socket", default=None, metavar="PATH",
+                       help="the server's unix socket")
+    query.add_argument("--port", type=_port, default=None,
+                       help="the server's localhost TCP port")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--timeout", type=_positive_float, default=120.0,
+                       help="client-side response timeout in seconds")
+    query.add_argument("--register", type=_register_spec, action="append",
+                       metavar="NAME=SPEC",
+                       help="register a dataset before querying; repeatable")
+    query.add_argument("--base-n", type=int, default=DEFAULT_BASE_N)
+    query.add_argument("--payload", type=int, default=0)
+    query.add_argument("--r", default=None,
+                       help="registered dataset name of the R side")
+    query.add_argument("--s", default=None,
+                       help="registered dataset name of the S side")
+    query.add_argument("--eps", type=_positive_float, default=None)
+    query.add_argument("--method", choices=GRID_METHODS, default="lpib")
+    query.add_argument("--kernel", choices=sorted(LOCAL_KERNELS),
+                       default="plane_sweep")
+    query.add_argument("--workers", type=_positive_int, default=12)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--show-pairs", type=_nonnegative_int, default=0,
+                       metavar="N",
+                       help="fetch and print the first N result pairs")
+    query.add_argument("--no-reuse-results", action="store_true",
+                       help="skip the server's result cache (the build "
+                            "artifact cache still applies)")
+    query.add_argument("--report", action="store_true",
+                       help="print the server-rendered run report")
+    query.add_argument("--stats", action="store_true",
+                       help="print the server's cache/admission statistics")
+    query.add_argument("--ping", action="store_true")
+    query.add_argument("--shutdown-server", action="store_true",
+                       help="ask the server to shut down")
+    _add_one_shot_traps(query)
+    query.set_defaults(fn=_cmd_query)
 
     return parser
 

@@ -98,6 +98,111 @@ _TICK = 0.02
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
+# ----------------------------------------------------------------------
+# shared long-lived pools (the serving layer's resident executors)
+# ----------------------------------------------------------------------
+# A one-shot run pays the thread/process pool's startup on every join;
+# a resident server should not.  When shared pools are enabled, the
+# scheduler checks this registry -- keyed by (backend, os_workers) --
+# before building a pool, and leaves resident pools running when the
+# run finishes.  A *broken* pool (a worker process died) is always
+# evicted and truly shut down: the rebuilt replacement re-enters the
+# registry, so chaos recovery works identically in shared mode.
+# Disabled by default: one-shot runs keep their per-run pool lifetime.
+import threading as _threading
+
+_shared_pools_enabled = False
+_shared_pools: dict[tuple, object] = {}
+_shared_pools_lock = _threading.Lock()
+_shared_pool_counters = {
+    "acquires": 0,
+    "hits": 0,
+    "created": 0,
+    "discarded": 0,
+}
+
+
+def enable_shared_pools() -> None:
+    """Keep thread/process pools resident across runs (server mode).
+
+    Meant for runs without speculation or fault injection (the serving
+    layer blocks both): those runs are fully drained when they return,
+    so nothing of one run is still executing when the next reuses the
+    pool.
+    """
+    global _shared_pools_enabled
+    with _shared_pools_lock:
+        _shared_pools_enabled = True
+
+
+def disable_shared_pools() -> None:
+    """Shut down every resident pool and return to per-run lifetimes."""
+    global _shared_pools_enabled
+    with _shared_pools_lock:
+        _shared_pools_enabled = False
+        pools = list(_shared_pools.values())
+        _shared_pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+def shared_pool_stats() -> dict:
+    """Registry counters plus the resident pool keys (stats endpoint)."""
+    with _shared_pools_lock:
+        return {
+            "enabled": _shared_pools_enabled,
+            "resident": [list(k) for k in sorted(_shared_pools)],
+            **_shared_pool_counters,
+        }
+
+
+def _acquire_pool(backend: str, os_workers, factory):
+    """A pool for one run: resident when shared mode is on, else fresh.
+
+    Returns ``(pool, shared)`` -- ``shared`` tells the caller whether
+    the run's cleanup owns the pool (``False``) or must leave it running
+    (``True``).
+    """
+    with _shared_pools_lock:
+        if not _shared_pools_enabled:
+            return factory(), False
+        _shared_pool_counters["acquires"] += 1
+        key = (backend, os_workers)
+        pool = _shared_pools.get(key)
+        if pool is not None:
+            _shared_pool_counters["hits"] += 1
+            return pool, True
+    # build outside the lock (process-pool startup is slow), then
+    # publish; a concurrent builder may win the race -- keep the winner
+    pool = factory()
+    with _shared_pools_lock:
+        if not _shared_pools_enabled:
+            return pool, False
+        existing = _shared_pools.get(key)
+        if existing is not None:
+            loser = pool
+            pool = existing
+            _shared_pool_counters["hits"] += 1
+        else:
+            loser = None
+            _shared_pools[key] = pool
+            _shared_pool_counters["created"] += 1
+    if loser is not None:
+        loser.shutdown(wait=False)
+    return pool, True
+
+
+def _discard_pool(backend: str, os_workers, pool, shared: bool) -> None:
+    """Drop a *broken* pool: evict it from the registry and kill it."""
+    if shared:
+        with _shared_pools_lock:
+            key = (backend, os_workers)
+            if _shared_pools.get(key) is pool:
+                del _shared_pools[key]
+            _shared_pool_counters["discarded"] += 1
+    pool.shutdown(wait=False)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How the executor recovers from task failures.
@@ -1042,12 +1147,13 @@ def _pool_tier(
     pos_desc: dict[int, tuple[int, int]] = {}
     total_positions = sum(len(p) for p in tasks.values())
     pool = None
+    pool_shared = False
     try:
         if backend == "processes":
             shm_r = _side_to_shm(plan.r_ids, plan.r_xs, plan.r_ys)
             shm_s = _side_to_shm(plan.s_ids, plan.s_xs, plan.s_ys)
             shm_meta, pos_desc = _plan_meta_to_shm(plan, tasks)
-        pool = make_pool()
+        pool, pool_shared = _acquire_pool(backend, os_workers, make_pool)
 
         def submit(worker_id: int, speculative: bool = False) -> bool:
             """Launch one attempt; False when salvage completed the task."""
@@ -1180,8 +1286,10 @@ def _pool_tier(
                 pending.clear()
                 for flight in flights:
                     fail(flight, now, pool_died)
-                pool.shutdown(wait=False)
-                pool = make_pool()
+                _discard_pool(backend, os_workers, pool, pool_shared)
+                pool, pool_shared = _acquire_pool(
+                    backend, os_workers, make_pool
+                )
                 report.pool_rebuilds += 1
                 state.registry.counter("executor.pool_rebuilds").inc()
                 state.tracer.event(
@@ -1218,7 +1326,7 @@ def _pool_tier(
                                 "executor.speculative_launched"
                             ).inc()
     finally:
-        if pool is not None:
+        if pool is not None and not pool_shared:
             pool.shutdown(wait=True)
         for shm in (shm_r, shm_s, shm_meta):
             if shm is not None:

@@ -27,6 +27,10 @@ OWNER_MARKER = ".repro-owner-pid"
 #: Temp-directory prefixes the block store and checkpoint manager use.
 TEMP_PREFIXES = ("repro-spill-", "repro-ckpt-")
 
+#: Prefix of the join server's pid-guarded state directories and of its
+#: socket files (see :mod:`repro.serving.server`).
+SERVE_PREFIX = "repro-serve-"
+
 #: Prefix of this package's named shared-memory segments.
 SHM_PREFIX = "repro_"
 
@@ -81,6 +85,23 @@ def shm_segment_owner(name: str) -> int | None:
         return None
 
 
+def server_socket_owner(name: str) -> int | None:
+    """The pid embedded in a ``repro-serve-<pid>.sock`` file name.
+
+    A SIGKILLed server never unlinks its listening socket; the pid baked
+    into the default socket name lets a later sweep tell a stale socket
+    (owner dead) from one a live server is still accepting on.  Returns
+    ``None`` for names that are not pid-stamped server sockets.
+    """
+    if not name.startswith(SERVE_PREFIX) or not name.endswith(".sock"):
+        return None
+    stem = name[len(SERVE_PREFIX):-len(".sock")]
+    try:
+        return int(stem.split("-")[0].split("_")[0])
+    except (IndexError, ValueError):
+        return None
+
+
 def sweep_stale_resources(
     tmp_root: str | None = None,
     shm_dir: str | None = None,
@@ -88,23 +109,39 @@ def sweep_stale_resources(
     """Remove orphaned spill dirs and shared-memory segments (pid-guarded).
 
     Scans ``tmp_root`` (default: the system temp directory) for
-    ``repro-spill-*`` / ``repro-ckpt-*`` directories and ``shm_dir``
-    (default ``/dev/shm``) for ``repro_*`` segments.  A resource is
-    removed only when its recorded owner pid is provably dead; unmarked
-    directories and live owners are left alone.  Returns a report dict
-    with ``dirs_removed``, ``segments_removed`` and ``skipped`` lists.
+    ``repro-spill-*`` / ``repro-ckpt-*`` / ``repro-serve-*`` directories
+    plus stale pid-stamped ``repro-serve-<pid>.sock`` socket files, and
+    ``shm_dir`` (default ``/dev/shm``) for ``repro_*`` segments.  A
+    resource is removed only when its recorded owner pid is provably
+    dead; unmarked directories and live owners are left alone.  Returns
+    a report dict with ``dirs_removed``, ``segments_removed``,
+    ``sockets_removed`` and ``skipped`` lists.
     """
-    report = {"dirs_removed": [], "segments_removed": [], "skipped": []}
+    report = {
+        "dirs_removed": [],
+        "segments_removed": [],
+        "sockets_removed": [],
+        "skipped": [],
+    }
     root = tmp_root if tmp_root is not None else tempfile.gettempdir()
     try:
         entries = sorted(os.listdir(root))
     except OSError:
         entries = []
     for entry in entries:
-        if not entry.startswith(TEMP_PREFIXES):
+        if not entry.startswith(TEMP_PREFIXES + (SERVE_PREFIX,)):
             continue
         path = os.path.join(root, entry)
         if not os.path.isdir(path):
+            # a socket file a killed server left outside any state dir
+            owner = server_socket_owner(entry)
+            if owner is None or pid_alive(owner):
+                continue
+            try:
+                os.unlink(path)
+                report["sockets_removed"].append(path)
+            except OSError:  # pragma: no cover - raced with another sweep
+                pass
             continue
         owner = _dir_owner(path)
         if owner is None or pid_alive(owner):

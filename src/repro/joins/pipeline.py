@@ -145,6 +145,21 @@ class ExecutionSettings:
     #: (tracer + metrics registry).  ``None`` means tracing disabled with
     #: a private throwaway registry -- the always-on default.
     telemetry: Telemetry | None = None
+    #: Cross-run construction-artifact cache (the serving layer's
+    #: :class:`~repro.serving.cache.ArtifactCache`, or anything with
+    #: ``get(key)``/``put(key, value)``).  When set together with
+    #: ``artifact_key``, the build stage consults it before building the
+    #: grid/statistics/agreement-graph/partitioner bundle and publishes
+    #: what it builds -- a warm run replays the cached bundle with
+    #: bit-identical metrics and dataflow.  ``None`` keeps the one-shot
+    #: behaviour: build everything, every run.
+    artifact_cache: Any = field(default=None, repr=False)
+    #: The cache key naming this run's construction inputs (dataset
+    #: fingerprints + every config field the build depends on; see
+    #: :func:`repro.serving.fingerprint.grid_partition_key`).  ``None``
+    #: disables cache consultation even when a cache is present --
+    #: correctness first: no key, no reuse.
+    artifact_key: tuple | None = field(default=None, repr=False)
 
     @classmethod
     def from_config(cls, cfg: Any) -> "ExecutionSettings":

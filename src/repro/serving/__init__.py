@@ -1,0 +1,48 @@
+"""``repro.serving``: the resident join server (join-as-a-service).
+
+Everything above the staged pipeline that turns one-shot joins into a
+long-running service: the dataset registry, the fingerprint-keyed
+artifact cache, admission control with single-flight coalescing, the
+newline-JSON protocol, the asyncio server, and a synchronous client.
+See ``docs/SERVING.md`` for the tour.
+"""
+
+from repro.serving.admission import AdmissionController, QueryRejected
+from repro.serving.cache import ArtifactCache, CacheStats, estimate_nbytes
+from repro.serving.client import JoinClient, ServerError, connect
+from repro.serving.fingerprint import (
+    dataset_fingerprint,
+    grid_partition_key,
+    query_key,
+)
+from repro.serving.protocol import MAX_LINE_BYTES, OPS, ProtocolError
+from repro.serving.registry import DatasetRegistry, RegisteredDataset
+from repro.serving.server import (
+    JoinServer,
+    ServerConfig,
+    ServerHandle,
+    start_in_thread,
+)
+
+__all__ = [
+    "AdmissionController",
+    "ArtifactCache",
+    "CacheStats",
+    "DatasetRegistry",
+    "JoinClient",
+    "JoinServer",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ProtocolError",
+    "QueryRejected",
+    "RegisteredDataset",
+    "ServerConfig",
+    "ServerError",
+    "ServerHandle",
+    "connect",
+    "dataset_fingerprint",
+    "estimate_nbytes",
+    "grid_partition_key",
+    "query_key",
+    "start_in_thread",
+]

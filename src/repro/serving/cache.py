@@ -1,0 +1,172 @@
+"""The serving layer's artifact cache: built join artifacts, reused.
+
+A one-shot CLI run rebuilds the grid, the Bernoulli samples, the
+agreement graph and the LPT placement for every invocation.  A resident
+server amortizes that away: the *artifact cache* keeps the output of the
+pipeline's build/partition stage -- grid, statistics (the samples'
+digest), replication assigner (which embeds the agreement graph for the
+adaptive methods) and the cell partitioner -- keyed by the dataset
+fingerprints and every configuration field that feeds the build.
+
+The cache is a byte-budgeted LRU: entry sizes are estimated by walking
+the stored objects for numpy arrays (:func:`estimate_nbytes`), and the
+least-recently-used entries are evicted once the budget is exceeded.
+Hit/miss/eviction counters feed the server's ``stats`` endpoint and the
+serving benchmarks.
+
+Everything cached here is *read-only* at query time (assigners and
+partitioners are pure functions over their arrays), so one entry may be
+shared by any number of concurrent queries.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArtifactCache", "CacheStats", "estimate_nbytes"]
+
+#: Recursion guard for :func:`estimate_nbytes` -- artifact bundles are
+#: shallow (grid -> arrays, graph -> dicts of arrays), so a deep walk
+#: only ever means a reference cycle slipped past the seen-set.
+_MAX_DEPTH = 12
+
+
+def estimate_nbytes(obj, _seen: set[int] | None = None, _depth: int = 0) -> int:
+    """Rough resident size of an artifact bundle, in bytes.
+
+    Counts every distinct numpy array once (``.nbytes``) and falls back
+    to ``sys.getsizeof`` for scalars and containers.  The estimate only
+    needs to be *proportional* to the real footprint -- it drives LRU
+    eviction, not allocation.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen or _depth > _MAX_DEPTH:
+        return 0
+    _seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    total = 0
+    try:
+        total += sys.getsizeof(obj)
+    except TypeError:  # pragma: no cover - exotic objects
+        pass
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            total += estimate_nbytes(key, _seen, _depth + 1)
+            total += estimate_nbytes(value, _seen, _depth + 1)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            total += estimate_nbytes(item, _seen, _depth + 1)
+    elif hasattr(obj, "__dict__"):
+        for value in vars(obj).values():
+            total += estimate_nbytes(value, _seen, _depth + 1)
+    return total
+
+
+@dataclass
+class CacheStats:
+    """A point-in-time snapshot of an :class:`ArtifactCache`."""
+
+    entries: int
+    bytes: int
+    limit_bytes: int | None
+    hits: int
+    misses: int
+    evictions: int
+
+    def to_dict(self) -> dict:
+        return {
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "limit_bytes": self.limit_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class ArtifactCache:
+    """A thread-safe byte-budgeted LRU over built join artifacts.
+
+    Keys are opaque hashable tuples (see
+    :func:`repro.serving.fingerprint.grid_partition_key`); values are
+    whatever bundle the build stage produced.  ``memory_limit_bytes``
+    bounds the *estimated* resident size; ``None`` means unbounded.
+    """
+
+    def __init__(self, memory_limit_bytes: int | None = None):
+        if memory_limit_bytes is not None and memory_limit_bytes < 0:
+            raise ValueError(
+                f"memory_limit_bytes must be >= 0, got {memory_limit_bytes}"
+            )
+        self.memory_limit_bytes = memory_limit_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key):
+        """The cached value, or ``None`` (counts a hit or a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def contains(self, key) -> bool:
+        """Whether ``key`` is resident (no LRU touch, no counters)."""
+        with self._lock:
+            return key in self._entries
+
+    def put(self, key, value, nbytes: int | None = None) -> int:
+        """Insert (or refresh) an entry; returns its estimated size."""
+        size = int(nbytes) if nbytes is not None else estimate_nbytes(value)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.bytes -= old[1]
+            self._entries[key] = (value, size)
+            self.bytes += size
+            if self.memory_limit_bytes is not None:
+                # never evict the entry we just inserted: a single bundle
+                # larger than the whole budget must still be usable once
+                while (
+                    self.bytes > self.memory_limit_bytes
+                    and len(self._entries) > 1
+                ):
+                    _k, (_v, evicted) = self._entries.popitem(last=False)
+                    self.bytes -= evicted
+                    self.evictions += 1
+        return size
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                entries=len(self._entries),
+                bytes=self.bytes,
+                limit_bytes=self.memory_limit_bytes,
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+            )

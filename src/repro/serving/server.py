@@ -1,0 +1,843 @@
+"""Join-as-a-service: the long-running asyncio join server.
+
+One :class:`JoinServer` process turns the reproduction from a one-shot
+script into a resident system:
+
+* the :class:`~repro.serving.registry.DatasetRegistry` keeps point sets
+  loaded across queries;
+* the :class:`~repro.serving.cache.ArtifactCache` keeps built grids,
+  samples/statistics, agreement graphs (inside the adaptive assigners),
+  LPT placements and STR R-trees, keyed by dataset fingerprint and the
+  configuration fields that feed each build -- injected into the staged
+  pipeline through ``ExecutionSettings.artifact_cache``;
+* a cross-query **result cache** stores finished join results in a
+  long-lived :class:`~repro.engine.blockstore.BlockStore` (the PR 3
+  subsystem, given a server lifetime instead of a job lifetime);
+* the :class:`~repro.serving.admission.AdmissionController` bounds
+  in-flight work and coalesces identical concurrent queries;
+* every request runs under its own run id with the PR 5 telemetry
+  subsystem -- span traces and a full
+  :class:`~repro.engine.telemetry.RunReport` on demand -- and the
+  server aggregates latency/hit-rate metrics in a
+  :class:`~repro.engine.telemetry.MetricsRegistry`;
+* on the ``threads``/``processes`` backends the executor's worker pools
+  are made *shared*: one long-lived pool serves every query instead of
+  a fresh pool per run
+  (:func:`repro.engine.executor.enable_shared_pools`).
+
+The server listens on a unix-domain socket (default) or a localhost TCP
+port, speaking the newline-delimited JSON protocol of
+:mod:`repro.serving.protocol`.  Its state directory and default socket
+are pid-stamped so the startup hygiene sweep
+(:func:`repro.engine.hygiene.sweep_stale_resources`) can reclaim what a
+SIGKILLed server leaves behind.
+
+Results are **bit-identical** to the equivalent one-shot CLI run on
+every path -- cold build, warm artifact-cache build, and result-cache
+hit -- pinned by ``tests/test_serving.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine import executor as executor_mod
+from repro.engine.blockstore import BlockId, BlockStore
+from repro.engine.hygiene import (
+    SERVE_PREFIX,
+    sweep_stale_resources,
+    write_owner_marker,
+)
+from repro.engine.telemetry import MetricsRegistry, Telemetry, get_logger
+from repro.geometry.mbr import MBR
+from repro.joins.distance_join import (
+    GRID_METHODS,
+    JoinConfig,
+    distance_join,
+)
+from repro.joins.local import LOCAL_KERNELS
+from repro.serving.admission import AdmissionController, QueryRejected
+from repro.serving.cache import ArtifactCache
+from repro.serving.fingerprint import grid_partition_key, query_key
+from repro.serving.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+)
+from repro.serving.registry import CODENAMES, DatasetRegistry
+
+__all__ = ["JoinServer", "ServerConfig", "ServerHandle", "start_in_thread"]
+
+#: Execution backends a resident server may run queries on.  ``cluster``
+#: is excluded: its per-run daemon fleet is the opposite of a resident
+#: pool (and its SIGKILL chaos belongs to one-shot runs).
+SERVING_BACKENDS = ("serial", "threads", "processes")
+
+#: Query-request fields that belong to the one-shot CLI surface only.
+#: They are rejected by name so a client porting ``repro join`` flags
+#: gets a targeted error instead of a generic "unknown field".
+ONE_SHOT_ONLY_FIELDS = (
+    "faults",
+    "fault_seed",
+    "spill",
+    "spill_dir",
+    "checkpoint_cells",
+    "backend",
+    "execution_backend",
+)
+
+#: Fields a ``query`` request may carry (beyond ``op``).
+QUERY_FIELDS = frozenset(
+    {
+        "r",
+        "s",
+        "eps",
+        "method",
+        "kernel",
+        "workers",
+        "num_partitions",
+        "cell_assignment",
+        "sample_rate",
+        "seed",
+        "resolution_factor",
+        "duplicate_free",
+        "fused",
+        "reuse_results",
+        "max_pairs",
+        "trace",
+        "report",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """How one join server listens, caches, and executes."""
+
+    #: Unix-domain socket path (``None``: a pid-stamped socket inside the
+    #: state directory).  Mutually exclusive with ``port``.
+    socket_path: str | None = None
+    #: TCP port (``None``: unix socket).  The server never binds beyond
+    #: localhost: serving the open internet is a reverse proxy's job.
+    port: int | None = None
+    host: str = "127.0.0.1"
+    #: Byte budget of the artifact cache (grids, graphs, placements).
+    cache_budget_bytes: int = 256_000_000
+    #: Byte budget of the cross-query result cache (block store tier).
+    result_cache_bytes: int = 64_000_000
+    #: Admission control: concurrent executing queries / waiting queries.
+    max_inflight: int = 2
+    max_queue: int = 16
+    #: Execution backend queries run on (:data:`SERVING_BACKENDS`).
+    backend: str = "serial"
+    #: OS-level worker cap for the parallel backends.
+    executor_workers: int | None = None
+    #: Default simulated workers for queries that do not set ``workers``.
+    default_workers: int = 12
+    #: State directory (``None``: a fresh pid-tagged temp directory).
+    state_dir: str | None = None
+    #: Run the startup hygiene sweep before binding.
+    sweep_on_start: bool = True
+
+    def __post_init__(self):
+        if self.socket_path is not None and self.port is not None:
+            raise ValueError("socket_path and port are mutually exclusive")
+        if self.port is not None and not (1 <= self.port <= 65535):
+            raise ValueError(f"port must be in [1, 65535], got {self.port}")
+        if self.backend not in SERVING_BACKENDS:
+            raise ValueError(
+                f"serving backend must be one of {SERVING_BACKENDS}, "
+                f"got {self.backend!r} (the cluster backend is one-shot only)"
+            )
+        for name in ("cache_budget_bytes", "result_cache_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.default_workers < 1:
+            raise ValueError("default_workers must be >= 1")
+
+
+@dataclass
+class QuerySpec:
+    """One validated distance-join query."""
+
+    r: str
+    s: str
+    eps: float
+    method: str = "lpib"
+    kernel: str = "plane_sweep"
+    workers: int = 12
+    num_partitions: int | None = None
+    cell_assignment: str = "lpt"
+    sample_rate: float = 0.03
+    seed: int = 0
+    resolution_factor: float = 2.0
+    duplicate_free: bool = True
+    fused: bool = True
+    reuse_results: bool = True
+    max_pairs: int | None = None
+    trace: bool = False
+    report: bool = False
+
+    @classmethod
+    def parse(cls, request: dict, config: ServerConfig) -> "QuerySpec":
+        for name in ONE_SHOT_ONLY_FIELDS:
+            if name in request:
+                raise ProtocolError(
+                    f"{name!r} is a one-shot flag: fault injection, spill "
+                    f"tiers and backend choice belong to `repro join`; the "
+                    f"server runs every query on its configured "
+                    f"{config.backend!r} backend"
+                )
+        unknown = set(request) - QUERY_FIELDS - {"op"}
+        if unknown:
+            raise ProtocolError(
+                f"unknown query field(s): {', '.join(sorted(unknown))}"
+            )
+        for name in ("r", "s", "eps"):
+            if name not in request:
+                raise ProtocolError(f"query requires the {name!r} field")
+        spec = cls(
+            r=str(request["r"]),
+            s=str(request["s"]),
+            eps=float(request["eps"]),
+            method=str(request.get("method", "lpib")),
+            kernel=str(request.get("kernel", "plane_sweep")),
+            workers=int(request.get("workers", config.default_workers)),
+            num_partitions=(
+                int(request["num_partitions"])
+                if request.get("num_partitions") is not None
+                else None
+            ),
+            cell_assignment=str(request.get("cell_assignment", "lpt")),
+            sample_rate=float(request.get("sample_rate", 0.03)),
+            seed=int(request.get("seed", 0)),
+            resolution_factor=float(request.get("resolution_factor", 2.0)),
+            duplicate_free=bool(request.get("duplicate_free", True)),
+            fused=bool(request.get("fused", True)),
+            reuse_results=bool(request.get("reuse_results", True)),
+            max_pairs=(
+                int(request["max_pairs"])
+                if request.get("max_pairs") is not None
+                else None
+            ),
+            trace=bool(request.get("trace", False)),
+            report=bool(request.get("report", False)),
+        )
+        if spec.eps <= 0:
+            raise ProtocolError(f"eps must be positive, got {spec.eps}")
+        if spec.method not in GRID_METHODS:
+            raise ProtocolError(
+                f"method must be one of {', '.join(GRID_METHODS)}; "
+                f"got {spec.method!r}"
+            )
+        if spec.kernel not in LOCAL_KERNELS:
+            raise ProtocolError(
+                f"kernel must be one of {', '.join(sorted(LOCAL_KERNELS))}; "
+                f"got {spec.kernel!r}"
+            )
+        if spec.workers < 1:
+            raise ProtocolError(f"workers must be >= 1, got {spec.workers}")
+        if spec.cell_assignment not in ("lpt", "hash"):
+            raise ProtocolError(
+                f"cell_assignment must be 'lpt' or 'hash', "
+                f"got {spec.cell_assignment!r}"
+            )
+        if not (0.0 < spec.sample_rate <= 1.0):
+            raise ProtocolError(
+                f"sample_rate must be in (0, 1], got {spec.sample_rate}"
+            )
+        if spec.resolution_factor <= 0:
+            raise ProtocolError("resolution_factor must be positive")
+        if spec.max_pairs is not None and spec.max_pairs < 0:
+            raise ProtocolError("max_pairs must be >= 0")
+        return spec
+
+    def join_config(self, config: ServerConfig, **extra) -> JoinConfig:
+        return JoinConfig(
+            eps=self.eps,
+            method=self.method,
+            sample_rate=self.sample_rate,
+            num_workers=self.workers,
+            num_partitions=self.num_partitions,
+            cell_assignment=self.cell_assignment,
+            resolution_factor=self.resolution_factor,
+            duplicate_free=self.duplicate_free,
+            local_kernel=self.kernel,
+            seed=self.seed,
+            fused=self.fused,
+            execution_backend=config.backend,
+            executor_workers=config.executor_workers,
+            **extra,
+        )
+
+
+def _metrics_payload(m) -> dict:
+    """The JSON-safe slice of a :class:`JoinMetrics` a client needs."""
+    return {
+        "method": m.method,
+        "eps": m.eps,
+        "results": int(m.results),
+        "candidate_pairs": int(m.candidate_pairs),
+        "grid_cells": int(m.grid_cells),
+        "replicated_r": int(m.replicated_r),
+        "replicated_s": int(m.replicated_s),
+        "shuffle_records": int(m.shuffle_records),
+        "shuffle_bytes": int(m.shuffle_bytes),
+        "remote_bytes": int(m.remote_bytes),
+        "construction_time_model": m.construction_time_model,
+        "join_time_model": m.join_time_model,
+        "join_wall_makespan": m.join_wall_makespan,
+        "execution_backend": m.execution_backend,
+        "stage_times": {k: v for k, v in m.stage_times.items()},
+    }
+
+
+class JoinServer:
+    """The resident join service (see module docstring)."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self.datasets = DatasetRegistry()
+        self.artifacts = ArtifactCache(self.config.cache_budget_bytes)
+        self.admission = AdmissionController(
+            self.config.max_inflight, self.config.max_queue
+        )
+        self.registry = MetricsRegistry()  # server-lifetime aggregates
+        self._log = get_logger("repro.serving.server")
+        # the result cache is a server-lifetime BlockStore: the same
+        # memory tier + LRU eviction the shuffle uses, holding finished
+        # (r_ids, s_ids, metrics) triples across queries
+        self._results = BlockStore(
+            "memory", memory_limit_bytes=self.config.result_cache_bytes
+        )
+        self._results_lock = threading.Lock()
+        self._result_blocks: dict[tuple, BlockId] = {}
+        self._next_result_block = 0
+        self._pool = None  # query thread pool, created on start
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = None  # asyncio.Event, created on start
+        self._state_dir: str | None = None
+        self._owns_state_dir = False
+        self._socket_path: str | None = None
+        self._started_at = time.time()
+        self._closed = False
+        self._shared_pools_enabled = False
+        self.sweep_report: dict | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> dict:
+        """Where the server listens (``{"socket": ...}`` or host/port)."""
+        if self.config.port is not None:
+            return {"host": self.config.host, "port": self.config.port}
+        return {"socket": self._socket_path}
+
+    async def start(self) -> None:
+        """Sweep, claim the state dir, bind the socket, start serving."""
+        if self.config.sweep_on_start:
+            try:
+                self.sweep_report = sweep_stale_resources()
+                removed = (
+                    len(self.sweep_report["dirs_removed"])
+                    + len(self.sweep_report["sockets_removed"])
+                )
+                if removed:
+                    self._log.info(
+                        "startup sweep reclaimed %d stale server "
+                        "resource(s)", removed,
+                    )
+            except Exception:  # pragma: no cover - hygiene never fatal
+                self.sweep_report = None
+        if self.config.state_dir is not None:
+            os.makedirs(self.config.state_dir, exist_ok=True)
+            self._state_dir = self.config.state_dir
+        else:
+            self._state_dir = tempfile.mkdtemp(prefix=SERVE_PREFIX)
+            self._owns_state_dir = True
+        write_owner_marker(self._state_dir)
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight,
+            thread_name_prefix="repro-serve",
+        )
+        if self.config.backend in ("threads", "processes"):
+            executor_mod.enable_shared_pools()
+            self._shared_pools_enabled = True
+
+        self._shutdown = asyncio.Event()
+        if self.config.port is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            self._socket_path = self.config.socket_path or os.path.join(
+                self._state_dir, f"{SERVE_PREFIX}{os.getpid()}.sock"
+            )
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self._socket_path,
+                limit=MAX_LINE_BYTES,
+            )
+        self._write_state_file()
+        self._log.info("join server listening on %s", self.address)
+
+    def _write_state_file(self) -> None:
+        try:
+            with open(
+                os.path.join(self._state_dir, "server.json"), "w"
+            ) as fh:
+                json.dump({"pid": os.getpid(), **self.address}, fh)
+        except OSError:  # pragma: no cover - informational only
+            pass
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`)."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    def run_forever(self) -> None:
+        """Start and serve on a fresh event loop (the CLI entry point)."""
+
+        async def _main():
+            await self.start()
+            try:
+                await self.serve_until_shutdown()
+            except asyncio.CancelledError:  # pragma: no cover - signal
+                await self.stop()
+
+        asyncio.run(_main())
+
+    async def stop(self) -> None:
+        """Close the socket and release every held resource (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._shared_pools_enabled:
+            executor_mod.disable_shared_pools()
+            self._shared_pools_enabled = False
+        self._results.close()
+        self.artifacts.clear()
+        if self._socket_path is not None and os.path.exists(self._socket_path):
+            try:
+                os.unlink(self._socket_path)
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if self._owns_state_dir and self._state_dir is not None:
+            shutil.rmtree(self._state_dir, ignore_errors=True)
+        self._state_dir = None
+        self._log.info("join server stopped")
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError, asyncio.LimitOverrunError):
+                    writer.write(
+                        encode(
+                            error_response(
+                                ProtocolError("request line too long")
+                            )
+                        )
+                    )
+                    break
+                if not line.strip():
+                    break  # client closed (or sent a blank line)
+                response = await self._dispatch(line)
+                close_after = bool(response.pop("_close", False))
+                writer.write(encode(response))
+                await writer.drain()
+                if close_after:
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            return error_response(exc)
+        op = request["op"]
+        handler = getattr(self, f"_op_{op}")
+        try:
+            return await handler(request)
+        except (ProtocolError, QueryRejected, KeyError, ValueError) as exc:
+            self.registry.counter("serve.errors").inc()
+            return error_response(exc)
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self._log.warning("op %r failed: %s", op, exc)
+            self.registry.counter("serve.errors").inc()
+            return error_response(exc)
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    async def _op_ping(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "uptime_seconds": time.time() - self._started_at,
+            "backend": self.config.backend,
+        }
+
+    async def _op_register(self, request: dict) -> dict:
+        name = request.get("name") or request.get("spec")
+        spec = request.get("spec") or name
+        if not name:
+            raise ProtocolError("register requires 'name' (or 'spec')")
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(
+            self._pool,
+            lambda: self.datasets.register_spec(
+                str(name),
+                str(spec),
+                base_n=(
+                    int(request["base_n"])
+                    if request.get("base_n") is not None
+                    else None
+                ),
+                payload_bytes=int(request.get("payload", 0)),
+                replace=bool(request.get("replace", False)),
+            ),
+        )
+        self.registry.counter("serve.registrations").inc()
+        return {"ok": True, **entry.describe()}
+
+    async def _op_datasets(self, request: dict) -> dict:
+        return {"ok": True, "datasets": self.datasets.describe()}
+
+    async def _op_query(self, request: dict) -> dict:
+        spec = QuerySpec.parse(request, self.config)
+        r = self.datasets.get(spec.r)
+        s = self.datasets.get(spec.s)
+        self.registry.counter("serve.queries").inc()
+        cfg = spec.join_config(self.config)
+        qkey = query_key(cfg, r.fingerprint, s.fingerprint)
+        akey = grid_partition_key(cfg, r.fingerprint, s.fingerprint)
+        coalesce_key = (
+            qkey,
+            spec.reuse_results,
+            spec.max_pairs,
+            spec.trace,
+            spec.report,
+        )
+        loop = asyncio.get_running_loop()
+        payload = await self.admission.run(
+            coalesce_key,
+            lambda: loop.run_in_executor(
+                self._pool,
+                lambda: self._execute_query(spec, cfg, r, s, qkey, akey),
+            ),
+        )
+        return payload
+
+    async def _op_range(self, request: dict) -> dict:
+        """Envelope query over one dataset via a cached STR R-tree."""
+        name = request.get("dataset")
+        box = request.get("box")
+        if not name or not isinstance(box, (list, tuple)) or len(box) != 4:
+            raise ProtocolError(
+                "range requires 'dataset' and 'box': [xmin, ymin, xmax, ymax]"
+            )
+        entry = self.datasets.get(str(name))
+        xmin, ymin, xmax, ymax = (float(v) for v in box)
+        if not (xmin <= xmax and ymin <= ymax):
+            raise ProtocolError("box must satisfy xmin <= xmax, ymin <= ymax")
+        max_ids = request.get("max_ids")
+        loop = asyncio.get_running_loop()
+
+        def _run():
+            key = ("rtree", entry.fingerprint)
+            index = self.artifacts.get(key)
+            if index is None:
+                from repro.baselines.rtree import RTree
+
+                index = RTree(entry.points.xs, entry.points.ys)
+                self.artifacts.put(key, index)
+            idx, visited = index.query_envelope(MBR(xmin, ymin, xmax, ymax))
+            ids = entry.points.ids[idx]
+            ids = np.sort(ids)
+            truncated = max_ids is not None and len(ids) > int(max_ids)
+            if truncated:
+                ids = ids[: int(max_ids)]
+            return {
+                "ok": True,
+                "dataset": entry.name,
+                "count": int(len(idx)),
+                "ids": ids.tolist(),
+                "ids_truncated": bool(truncated),
+                "nodes_visited": int(visited),
+            }
+
+        result = await loop.run_in_executor(self._pool, _run)
+        self.registry.counter("serve.range_queries").inc()
+        return result
+
+    async def _op_stats(self, request: dict) -> dict:
+        reg = self.registry
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "uptime_seconds": time.time() - self._started_at,
+            "address": self.address,
+            "backend": self.config.backend,
+            "datasets": self.datasets.describe(),
+            "artifact_cache": self.artifacts.stats().to_dict(),
+            "result_cache": {
+                "entries": len(self._result_blocks),
+                "hits": self._results.hits,
+                "misses": self._results.misses,
+                "evictions": self._results.evictions,
+                "bytes": self._results.bytes_in_memory,
+                "limit_bytes": self.config.result_cache_bytes,
+            },
+            "admission": self.admission.stats(),
+            "shared_pools": executor_mod.shared_pool_stats(),
+            "serving": {
+                "queries": reg.value("serve.queries"),
+                "result_cache_hits": reg.value("serve.result_cache_hits"),
+                "warm_builds": reg.value("serve.warm_builds"),
+                "cold_builds": reg.value("serve.cold_builds"),
+                "range_queries": reg.value("serve.range_queries"),
+                "registrations": reg.value("serve.registrations"),
+                "errors": reg.value("serve.errors"),
+                "query_seconds_mean": (
+                    reg.histogram("serve.query_seconds").mean
+                ),
+            },
+        }
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        self._shutdown.set()
+        return {"ok": True, "stopping": True, "_close": True}
+
+    # ------------------------------------------------------------------
+    # query execution (runs on the thread pool)
+    # ------------------------------------------------------------------
+    def _execute_query(self, spec, cfg, r, s, qkey, akey) -> dict:
+        started = time.perf_counter()
+        if spec.reuse_results:
+            cached = self._result_cache_get(qkey)
+            if cached is not None:
+                r_ids, s_ids, metrics_payload = cached
+                self.registry.counter("serve.result_cache_hits").inc()
+                payload = self._result_payload(
+                    spec, r_ids, s_ids, metrics_payload
+                )
+                payload.update(
+                    cached_result=True,
+                    warm_artifacts=self.artifacts.contains(akey),
+                    run_id=None,
+                )
+                return self._finish(payload, started)
+
+        warm = self.artifacts.contains(akey)
+        self.registry.counter(
+            "serve.warm_builds" if warm else "serve.cold_builds"
+        ).inc()
+        telemetry = Telemetry.create(enabled=spec.trace)
+        run_cfg = spec.join_config(
+            self.config,
+            telemetry=telemetry,
+            artifact_cache=self.artifacts,
+            artifact_key=akey,
+        )
+        result = distance_join(r.points, s.points, run_cfg)
+        metrics_payload = _metrics_payload(result.metrics)
+        self._result_cache_put(qkey, result, metrics_payload)
+
+        payload = self._result_payload(
+            spec, result.r_ids, result.s_ids, metrics_payload
+        )
+        payload.update(
+            cached_result=False,
+            warm_artifacts=warm,
+            run_id=telemetry.run_id,
+        )
+        if spec.trace:
+            payload["spans"] = len(telemetry.tracer)
+        if spec.report:
+            payload["report"] = telemetry.report().render()
+        return self._finish(payload, started)
+
+    def _finish(self, payload: dict, started: float) -> dict:
+        latency = time.perf_counter() - started
+        self.registry.histogram("serve.query_seconds").observe(latency)
+        payload["latency_seconds"] = latency
+        payload["artifact_cache"] = self.artifacts.stats().to_dict()
+        return payload
+
+    def _result_payload(self, spec, r_ids, s_ids, metrics_payload) -> dict:
+        limit = spec.max_pairs
+        truncated = limit is not None and len(r_ids) > limit
+        if limit is not None:
+            out_r, out_s = r_ids[:limit], s_ids[:limit]
+        else:
+            out_r, out_s = r_ids, s_ids
+        return {
+            "ok": True,
+            "results": int(len(r_ids)),
+            "pairs": np.column_stack((out_r, out_s)).tolist()
+            if len(out_r)
+            else [],
+            "pairs_truncated": bool(truncated),
+            "metrics": metrics_payload,
+        }
+
+    # ------------------------------------------------------------------
+    # the cross-query result cache (block store tier)
+    # ------------------------------------------------------------------
+    def _result_cache_get(self, qkey):
+        with self._results_lock:
+            block_id = self._result_blocks.get(qkey)
+            if block_id is None:
+                return None
+            meta, arrays = self._results.fetch(block_id)
+            if arrays is None:
+                # evicted under the memory budget: drop the mapping so
+                # the next run repopulates it
+                del self._result_blocks[qkey]
+                return None
+            metrics_payload = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+            return arrays["r"], arrays["s"], metrics_payload
+
+    def _result_cache_put(self, qkey, result, metrics_payload) -> None:
+        encoded = np.frombuffer(
+            json.dumps(metrics_payload).encode("utf-8"), dtype=np.uint8
+        )
+        with self._results_lock:
+            block_id = self._result_blocks.get(qkey)
+            if block_id is None:
+                block_id = BlockId("Q", self._next_result_block, 0)
+                self._next_result_block += 1
+            nbytes = int(
+                result.r_ids.nbytes + result.s_ids.nbytes + encoded.nbytes
+            )
+            self._results.put(
+                block_id,
+                {"r": result.r_ids, "s": result.s_ids, "meta": encoded},
+                records=len(result.r_ids),
+                logical_bytes=nbytes,
+            )
+            self._result_blocks[qkey] = block_id
+            # mappings whose blocks were LRU-dropped are pruned lazily so
+            # the dict cannot grow without bound under a tight budget
+            if len(self._result_blocks) > 2 * max(1, len(self._results)):
+                self._result_blocks = {
+                    k: b
+                    for k, b in self._result_blocks.items()
+                    if self._results.meta(b) is not None
+                    and self._results.meta(b).location != "dropped"
+                }
+
+
+# ----------------------------------------------------------------------
+# embedding helpers (tests, benchmarks, notebooks)
+# ----------------------------------------------------------------------
+@dataclass
+class ServerHandle:
+    """A server running on a background thread, plus its address."""
+
+    server: JoinServer
+    loop: asyncio.AbstractEventLoop
+    thread: threading.Thread
+    _stopped: bool = field(default=False, repr=False)
+
+    @property
+    def address(self) -> dict:
+        return self.server.address
+
+    @property
+    def socket_path(self) -> str | None:
+        return self.server.address.get("socket")
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        ).result(timeout=timeout)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    config: ServerConfig | None = None, timeout: float = 10.0
+) -> ServerHandle:
+    """Start a :class:`JoinServer` on a dedicated event-loop thread.
+
+    The embedding entry point tests and benchmarks use: returns once the
+    socket is bound.  Callers own the handle and must :meth:`~ServerHandle.stop`
+    it (it is also a context manager).
+    """
+    server = JoinServer(config)
+    started = threading.Event()
+    failure: list[BaseException] = []
+    loop = asyncio.new_event_loop()
+
+    def _run():
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # pragma: no cover - bind failures
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=_run, name="repro-serve-loop", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout):  # pragma: no cover - defensive
+        raise TimeoutError("join server did not start in time")
+    if failure:
+        raise failure[0]
+    return ServerHandle(server=server, loop=loop, thread=thread)

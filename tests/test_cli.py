@@ -263,3 +263,98 @@ def test_parser_subcommands():
     assert args.eps == 0.5
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+class TestServeValidation:
+    """``repro serve`` / ``repro query`` flag validation (no server)."""
+
+    def test_socket_and_port_mutually_exclusive(self, capsys):
+        rc = main(["serve", "--socket", "/tmp/x.sock", "--port", "9999"])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_one_shot_flags_trapped_on_serve(self, capsys):
+        for flags in (["--faults", "kill:p=1"], ["--spill", "disk"],
+                      ["--checkpoint-cells"], ["--task-timeout", "1"]):
+            rc = main(["serve", *flags])
+            assert rc == 2
+            err = capsys.readouterr().err
+            assert "one-shot" in err and "repro join" in err
+
+    def test_one_shot_flags_trapped_on_query(self, capsys):
+        rc = main(["query", "--socket", "/tmp/x.sock", "--ping",
+                   "--faults", "kill:p=1"])
+        assert rc == 2
+        assert "one-shot" in capsys.readouterr().err
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--port", "99999"])
+        with pytest.raises(SystemExit):
+            main(["query", "--port", "0", "--ping"])
+
+    def test_bad_cache_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--cache-budget-mb", "-1"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--result-cache-mb", "0"])
+
+    def test_bad_register_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--register", "no-equals-sign"])
+
+    def test_query_needs_an_address(self, capsys):
+        rc = main(["query", "--ping"])
+        assert rc == 2
+        assert "exactly one of --socket and --port" in capsys.readouterr().err
+
+    def test_query_needs_an_action(self, capsys):
+        rc = main(["query", "--socket", "/tmp/x.sock"])
+        assert rc == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_query_join_flags_must_be_complete(self, capsys):
+        rc = main(["query", "--socket", "/tmp/x.sock", "--r", "R"])
+        assert rc == 2
+        assert "given together" in capsys.readouterr().err
+
+    def test_host_requires_port(self, capsys):
+        rc = main(["serve", "--host", "0.0.0.0"])
+        assert rc == 2
+        assert "--host requires --port" in capsys.readouterr().err
+
+    def test_unreachable_server_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["query", "--socket", str(tmp_path / "none.sock"),
+                   "--ping"])
+        assert rc == 1
+        assert "cannot reach the server" in capsys.readouterr().err
+
+
+class TestServeEndToEnd:
+    @pytest.mark.serving
+    def test_serve_and_query_over_unix_socket(self, tmp_path, capsys):
+        """The CLI round trip: server thread + `repro query` clients."""
+        import threading
+
+        from repro.serving import ServerConfig, start_in_thread
+
+        handle = start_in_thread(ServerConfig(backend="serial"))
+        try:
+            sock = handle.socket_path
+            rc = main(["query", "--socket", sock,
+                       "--register", "R=R1", "--register", "S=S1",
+                       "--base-n", "1000",
+                       "--r", "R", "--s", "S", "--eps", "0.02",
+                       "--show-pairs", "2"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "registered R" in out and "[cold build]" in out
+            rc = main(["query", "--socket", sock, "--r", "R", "--s", "S",
+                       "--eps", "0.02"])
+            assert rc == 0
+            assert "[result cache]" in capsys.readouterr().out
+            rc = main(["query", "--socket", sock, "--stats"])
+            assert rc == 0
+            assert '"result_cache_hits": 1' in capsys.readouterr().out
+        finally:
+            handle.stop()

@@ -401,7 +401,8 @@ class TestStartupHygiene:
             tmp_root=str(tmp_path), shm_dir=str(tmp_path / "missing")
         )
         assert report == {
-            "dirs_removed": [], "segments_removed": [], "skipped": [],
+            "dirs_removed": [], "segments_removed": [],
+            "sockets_removed": [], "skipped": [],
         }
 
     def test_shm_owner_parsing(self):

@@ -9,6 +9,9 @@ The refactor's layering contract, checked by walking every module's AST
   :mod:`repro.engine.kernels` registry, not the other way around.
 - ``repro.joins`` (the stages and drivers) must never import the CLI or
   the benchmark layer.
+- ``repro.serving`` (the resident join server) composes the drivers and
+  the engine; only the CLI sits above it, and nothing below it may
+  import it.
 """
 
 import ast
@@ -22,8 +25,12 @@ SRC_ROOT = os.path.join(
 
 #: layer prefix -> module prefixes it must never depend on
 FORBIDDEN = {
-    "repro.engine": ("repro.joins", "repro.cli", "repro.bench"),
-    "repro.joins": ("repro.cli", "repro.bench"),
+    "repro.engine": ("repro.joins", "repro.cli", "repro.bench",
+                     "repro.serving"),
+    "repro.joins": ("repro.cli", "repro.bench", "repro.serving"),
+    # the serving layer sits on top of the drivers but below the CLI:
+    # it composes joins + engine, and nothing below it may know it exists
+    "repro.serving": ("repro.cli", "repro.bench"),
     # telemetry is the engine's bottom layer: everything above publishes
     # into it, so it must not import any engine sibling (or anything
     # higher) -- only the stdlib and numpy-free leaves
