@@ -7,6 +7,9 @@ Four subcommands cover the everyday workflows:
 * ``repro experiment`` -- regenerate one of the paper's tables/figures.
 * ``repro predict`` -- analytic cost predictions and a method
   recommendation for a workload, without running the join.
+* ``repro explain`` -- the cost-based planner's view of a workload: the
+  logical spec, every candidate physical plan with its predicted clocks,
+  and the chosen plan (see docs/PLANNER.md).
 * ``repro generate`` -- write one of the paper's datasets as a text file.
 * ``repro serve`` -- start the resident join server (datasets stay
   loaded, construction artifacts and results are cached across queries;
@@ -133,8 +136,43 @@ _VARIANT_METHODS = {
 }
 
 
+#: Static defaults of the plannable ``repro join`` choice flags.  Their
+#: argparse defaults are ``None`` so ``--tuning auto`` can tell an
+#: explicit pin from an untouched flag; static mode resolves them here.
+_JOIN_STATIC_DEFAULTS = {
+    "method": "lpib",
+    "kernel": "plane_sweep",
+    "workers": 12,
+    "backend": "serial",
+}
+
+
+def _capture_pins(args: argparse.Namespace) -> dict:
+    """Plan dimensions the user pinned explicitly on the command line."""
+    pins = {}
+    for dest, dim in (("method", "method"), ("kernel", "kernel"),
+                      ("workers", "workers"), ("backend", "backend"),
+                      ("resolution_factor", "resolution_factor")):
+        value = getattr(args, dest, None)
+        if value is not None:
+            pins[dim] = value
+    if getattr(args, "no_fused", False):
+        pins["fused"] = False
+    return pins
+
+
 def _validate_join_args(args: argparse.Namespace) -> str | None:
     """Semantic cross-flag validation; returns an error line or ``None``."""
+    if args.tuning == "auto":
+        if args.join != "distance":
+            return ("--tuning auto plans the point distance join; "
+                    f"--join {args.join} has no planner (drop --tuning "
+                    f"or use --join distance)")
+        pinned_method = args._pins.get("method")
+        if pinned_method is not None and pinned_method not in GRID_METHODS:
+            return (f"--tuning auto plans the grid pipeline "
+                    f"({', '.join(GRID_METHODS)}); --method {pinned_method} "
+                    f"cannot be planned")
     methods = _VARIANT_METHODS[args.join]
     if args.method not in methods:
         return (f"--join {args.join} supports methods {', '.join(methods)}; "
@@ -261,6 +299,29 @@ def _run_join_variant(args: argparse.Namespace):
                 telemetry=getattr(args, "_telemetry", None),
             )
         return result, len(r), len(s)
+    if args.join == "distance" and args.tuning == "auto":
+        from repro.planner import plan_join
+
+        planned = plan_join(
+            r, s, args.eps, pins=args._pins, seed=args.seed,
+        )
+        args._planned = planned
+        chosen = planned.chosen
+        # downstream summary lines print args.*; make them truthful
+        args.method = chosen.method
+        args.kernel = chosen.kernel
+        args.workers = chosen.workers
+        options = {
+            "num_workers": chosen.workers,
+            "local_kernel": chosen.kernel,
+            "resolution_factor": chosen.resolution_factor,
+            **_execution_options(args),
+        }
+        options["execution_backend"] = chosen.backend
+        result = spatial_join(
+            r, s, eps=args.eps, method=chosen.method, **options
+        )
+        return result, len(r), len(s)
     options = {}
     if args.method not in ("naive",):
         options["num_workers"] = args.workers
@@ -269,6 +330,8 @@ def _run_join_variant(args: argparse.Namespace):
         # execution surface is shared by every staged driver
         options["local_kernel"] = args.kernel
         options.update(_execution_options(args))
+    if args.resolution_factor is not None and args.method in GRID_METHODS:
+        options["resolution_factor"] = args.resolution_factor
     return spatial_join(r, s, eps=args.eps, method=args.method, **options), len(r), len(s)
 
 
@@ -290,7 +353,38 @@ def _emit_telemetry(args: argparse.Namespace) -> None:
         print(telemetry.report().render())
 
 
+def _publish_planner_meta(args: argparse.Namespace, result) -> None:
+    """Record the plan + predicted-vs-measured error for the run report."""
+    planned = getattr(args, "_planned", None)
+    telemetry: Telemetry | None = getattr(args, "_telemetry", None)
+    if planned is None or telemetry is None:
+        return
+    from repro.planner import clock_errors_from_metrics
+
+    chosen = planned.chosen
+    meta = {
+        "chosen": {
+            k: v for k, v in chosen.row().items()
+            if not k.startswith("predicted_")
+        },
+        "predicted": {
+            "construction": chosen.prediction.construction_time,
+            "join": chosen.prediction.join_time,
+        },
+        "candidates": len(planned.candidates),
+        "pins": dict(planned.pins),
+    }
+    if hasattr(result, "metrics"):
+        errors = clock_errors_from_metrics(chosen.prediction, result.metrics)
+        meta["errors"] = {e.phase: e.to_payload() for e in errors}
+    telemetry.registry.set_meta("planner", meta)
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
+    args._pins = _capture_pins(args)
+    for dest, default in _JOIN_STATIC_DEFAULTS.items():
+        if getattr(args, dest) is None:
+            setattr(args, dest, default)
     error = _validate_join_args(args)
     if error is not None:
         print(error, file=sys.stderr)
@@ -301,9 +395,17 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if args.trace is not None or args.report:
         args._telemetry = Telemetry.create()
     result, n_r, n_s = _run_join_variant(args)
+    _publish_planner_meta(args, result)
     unit = "objects" if args.join in ("object", "intersection") else "points"
     print(f"inputs: {n_r:,} x {n_s:,} {unit}, eps={args.eps}, "
           f"join={args.join}, method={args.method}")
+    planned = getattr(args, "_planned", None)
+    if planned is not None:
+        c = planned.chosen
+        print(f"planner: chose method={c.method} factor="
+              f"{c.resolution_factor:g} kernel={c.kernel} "
+              f"workers={c.workers} (predicted {c.predicted_clock:.3f}s "
+              f"over {len(planned.candidates)} candidates)")
     if args.join == "spark-style":
         sh = result.shuffle
         print(f"results: {len(result.pairs):,} pairs "
@@ -383,6 +485,25 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     for method in sorted(predictions, key=lambda m: predictions[m].exec_time):
         print(predictions[method].describe())
     print(f"\nrecommended method: {best}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Plan a workload and print the candidate table, without running it."""
+    from repro.planner import plan_join
+
+    r = _load_input(args.r, args.base_n, args.payload)
+    s = _load_input(args.s, args.base_n, args.payload)
+    pins = _capture_pins(args)
+    try:
+        planned = plan_join(
+            r, s, args.eps, pins=pins,
+            sample_rate=args.sample_rate, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(planned.explain(limit=args.limit or None))
     return 0
 
 
@@ -575,13 +696,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
                   f"(fingerprint {entry['fingerprint']})")
         if args.r is not None:
             fields = {
-                "method": args.method,
-                "kernel": args.kernel,
-                "workers": args.workers,
                 "seed": args.seed,
                 "max_pairs": args.show_pairs,
                 "report": args.report,
             }
+            if args.tuning == "auto":
+                # only explicitly pinned choices travel with the query;
+                # the server's planner fills in the rest
+                fields["tuning"] = "auto"
+                for dest in ("method", "kernel", "workers"):
+                    value = getattr(args, dest)
+                    if value is not None:
+                        fields[dest] = value
+            else:
+                fields["method"] = args.method or "lpib"
+                fields["kernel"] = args.kernel or "plane_sweep"
+                fields["workers"] = args.workers or 12
             if args.no_reuse_results:
                 fields["reuse_results"] = False
             response = client.query(args.r, args.s, args.eps, **fields)
@@ -592,6 +722,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"results: {response['results']:,} pairs [{source}] "
                   f"in {response['latency_seconds'] * 1000:.1f}ms "
                   f"(method={m['method']}, eps={m['eps']})")
+            planner = response.get("planner")
+            if planner:
+                chosen = planner.get("chosen", {})
+                hit = "cached plan" if planner.get("cache_hit") else "planned"
+                print(f"planner [{hit}]: "
+                      + "  ".join(f"{k}={chosen[k]}"
+                                  for k in ("method", "resolution_factor",
+                                            "kernel", "workers")
+                                  if k in chosen)
+                      + (f"  (predicted "
+                         f"{chosen['predicted_clock']:.3f}s)"
+                         if "predicted_clock" in chosen else ""))
             for rid, sid in response["pairs"][: args.show_pairs or 0]:
                 print(f"  ({rid}, {sid})")
             if args.report and response.get("report"):
@@ -630,17 +772,38 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--eps", type=float, default=0.012)
     join.add_argument("--method",
                       choices=sorted({*ALL_METHODS, *GENERALIZED_METHODS}),
-                      default="lpib",
-                      help="replication method (validity depends on --join)")
+                      default=None,
+                      help="replication method (validity depends on --join; "
+                           "default lpib, or planner-chosen with "
+                           "--tuning auto)")
     join.add_argument("--partition", choices=PARTITIONS, default="quadtree",
                       help="rectangulation of the generalized join")
-    join.add_argument("--workers", type=_positive_int, default=12)
-    join.add_argument("--backend", choices=BACKENDS, default="serial",
+    join.add_argument("--workers", type=_positive_int, default=None,
+                      help="simulated workers (default 12, or "
+                           "planner-chosen with --tuning auto)")
+    join.add_argument("--backend", choices=BACKENDS, default=None,
                       help="execution backend for the local-join phase "
-                           "(grid methods only)")
+                           "(grid methods only; default serial)")
     join.add_argument("--kernel", choices=sorted(LOCAL_KERNELS),
-                      default="plane_sweep",
-                      help="per-cell local join kernel (grid methods only)")
+                      default=None,
+                      help="per-cell local join kernel (grid methods only; "
+                           "default plane_sweep, or planner-chosen with "
+                           "--tuning auto)")
+    join.add_argument("--resolution-factor", type=_positive_float,
+                      default=None, metavar="K",
+                      help="grid cell side in multiples of eps (grid "
+                           "methods only; default 2.0, or planner-chosen "
+                           "with --tuning auto)")
+    join.add_argument("--tuning", choices=("static", "auto"),
+                      default="static",
+                      help="'auto' runs the cost-based planner over every "
+                           "choice flag left unset (method, kernel, "
+                           "workers, resolution factor) and executes the "
+                           "predicted-fastest plan; explicitly set flags "
+                           "stay pinned (see docs/PLANNER.md)")
+    join.add_argument("--seed", type=int, default=0,
+                      help="seed of the planner's statistics sample "
+                           "(--tuning auto)")
     join.add_argument("--no-fused", action="store_true",
                       help="run the discrete assign/shuffle/join stages "
                            "instead of the fused columnar path "
@@ -722,6 +885,38 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--base-n", type=int, default=DEFAULT_BASE_N)
     pred.add_argument("--payload", type=int, default=0)
     pred.set_defaults(fn=_cmd_predict)
+
+    explain = sub.add_parser(
+        "explain",
+        help="cost-based plan for a workload: logical spec, candidate "
+             "table with predicted clocks, chosen physical plan",
+    )
+    explain.add_argument("--r", default="S1",
+                         help="dataset codename or id,x,y file")
+    explain.add_argument("--s", default="S2",
+                         help="dataset codename or id,x,y file")
+    explain.add_argument("--eps", type=_positive_float, default=0.012)
+    explain.add_argument("--method", choices=GRID_METHODS, default=None,
+                         help="pin the replication method instead of "
+                              "searching it")
+    explain.add_argument("--kernel", choices=sorted(LOCAL_KERNELS),
+                         default=None, help="pin the local-join kernel")
+    explain.add_argument("--workers", type=_positive_int, default=None,
+                         help="pin the simulated worker count")
+    explain.add_argument("--backend", choices=BACKENDS, default=None,
+                         help="pin the execution backend")
+    explain.add_argument("--resolution-factor", type=_positive_float,
+                         default=None, metavar="K",
+                         help="pin the grid resolution factor")
+    explain.add_argument("--sample-rate", type=_positive_float, default=0.03,
+                         help="Bernoulli rate of the statistics sample")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--limit", type=_nonnegative_int, default=12,
+                         metavar="N",
+                         help="candidate rows to print (0 = all)")
+    explain.add_argument("--base-n", type=int, default=DEFAULT_BASE_N)
+    explain.add_argument("--payload", type=int, default=0)
+    explain.set_defaults(fn=_cmd_explain)
 
     gen = sub.add_parser("generate", help="write a dataset as an id,x,y file")
     gen.add_argument("dataset", choices=_DATASETS)
@@ -814,10 +1009,24 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--s", default=None,
                        help="registered dataset name of the S side")
     query.add_argument("--eps", type=_positive_float, default=None)
-    query.add_argument("--method", choices=GRID_METHODS, default="lpib")
+    query.add_argument("--method", choices=GRID_METHODS, default=None,
+                       help="replication method (default lpib; with "
+                            "--tuning auto, an explicit value pins the "
+                            "planner)")
     query.add_argument("--kernel", choices=sorted(LOCAL_KERNELS),
-                       default="plane_sweep")
-    query.add_argument("--workers", type=_positive_int, default=12)
+                       default=None,
+                       help="local-join kernel (default plane_sweep; with "
+                            "--tuning auto, an explicit value pins the "
+                            "planner)")
+    query.add_argument("--workers", type=_positive_int, default=None,
+                       help="simulated workers (default 12; with --tuning "
+                            "auto, an explicit value pins the planner)")
+    query.add_argument("--tuning", choices=("static", "auto"),
+                       default="static",
+                       help="'auto' lets the server's cost-based planner "
+                            "choose method/kernel/workers/resolution for "
+                            "the query (cached per dataset fingerprints + "
+                            "eps bucket); flags set explicitly stay pinned")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--show-pairs", type=_nonnegative_int, default=0,
                        metavar="N",

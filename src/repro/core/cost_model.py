@@ -47,6 +47,15 @@ from repro.grid.grid import Grid
 from repro.grid.statistics import GridStatistics
 
 
+#: Local-join kernels the model can price (mirrors
+#: ``repro.joins.local.LOCAL_KERNELS``; kept as data so the model layer
+#: never imports the join layer).
+PRICEABLE_KERNELS = ("plane_sweep", "grid_hash", "rtree", "nested_loop")
+
+#: Leaf capacity of the STR R-tree kernel (``repro.baselines.rtree``).
+_RTREE_LEAF_CAPACITY = 32
+
+
 @dataclass(frozen=True)
 class CostPrediction:
     """Closed-form estimates for one join method."""
@@ -68,6 +77,13 @@ class CostPrediction:
     #: wall time on a real thread/process backend (it mirrors the
     #: ``launch_overhead_model`` extra the accounting stage reports).
     launch_time: float = 0.0
+    #: Local-join kernel the candidate count was priced for (the
+    #: planner's kernel dimension; ``plane_sweep`` is the historical
+    #: default every pre-planner prediction used).
+    kernel: str = "plane_sweep"
+    #: Worker count the makespans were priced for (``0``: the model's
+    #: constructor-level default).
+    workers: int = 0
 
     @property
     def replicated_total(self) -> float:
@@ -127,6 +143,11 @@ class AnalyticalCostModel:
         #: sample-join cardinality estimator (optional).
         self.sample_results = sample_results
         self.sample_results_rate = sample_results_rate or sample_rate
+        # the replication walk and the post-replication populations
+        # depend only on the method; the planner prices many
+        # (kernel, workers) points per method, so memoize them
+        self._repl_cache: dict[str, dict[Side, float]] = {}
+        self._counts_cache: dict[str, dict[Side, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # replication
@@ -149,6 +170,9 @@ class AnalyticalCostModel:
 
     def predicted_replication(self, method: str) -> dict[Side, float]:
         """Expected replicated objects per input, scaled to full data."""
+        cached = self._repl_cache.get(method)
+        if cached is not None:
+            return dict(cached)
         pair_types = self._pair_types_for(method)
         replicated = self._replicated_side(method)
         out = {Side.R: 0.0, Side.S: 0.0}
@@ -163,12 +187,17 @@ class AnalyticalCostModel:
                 out[side] += self.count_stats.directed_candidates(a, b, side)
                 out[side] += self.count_stats.directed_candidates(b, a, side)
         scale = 1.0 / self.count_phi
-        return {side: count * scale for side, count in out.items()}
+        result = {side: count * scale for side, count in out.items()}
+        self._repl_cache[method] = dict(result)
+        return result
 
     # ------------------------------------------------------------------
     # per-cell populations after replication
     # ------------------------------------------------------------------
     def _post_replication_counts(self, method: str) -> dict[Side, np.ndarray]:
+        cached = self._counts_cache.get(method)
+        if cached is not None:
+            return {side: arr for side, arr in cached.items()}
         pair_types = self._pair_types_for(method)
         replicated = self._replicated_side(method)
         n = self.grid.num_cells
@@ -190,7 +219,9 @@ class AnalyticalCostModel:
                 counts[side][b] += self.count_stats.directed_candidates(a, b, side)
                 counts[side][a] += self.count_stats.directed_candidates(b, a, side)
         scale = 1.0 / self.count_phi
-        return {side: arr * scale for side, arr in counts.items()}
+        result = {side: arr * scale for side, arr in counts.items()}
+        self._counts_cache[method] = result
+        return result
 
     # ------------------------------------------------------------------
     # headline predictions
@@ -221,10 +252,73 @@ class AnalyticalCostModel:
         ) / self.count_phi
         return float(np.sum(counts[Side.R] * native_s) * match_prob)
 
-    def predict(self, method: str) -> CostPrediction:
-        """Full prediction for one grid method."""
+    # ------------------------------------------------------------------
+    # per-choice clocks: kernel-specific candidate windows
+    # ------------------------------------------------------------------
+    def _kernel_candidates(
+        self, kernel: str, counts: dict[Side, np.ndarray]
+    ) -> np.ndarray:
+        """Per-cell expected candidate pairs under the chosen kernel.
+
+        Each local kernel inspects a different fraction of the per-cell
+        cross product, and the engine charges ``compare_cost`` per
+        *inspected* candidate -- so the kernel choice moves the modelled
+        join clock.  The windows are calibrated from the sampled grid
+        statistics under within-cell uniformity:
+
+        * ``nested_loop`` inspects everything: fraction 1.
+        * ``plane_sweep`` inspects the edge-clipped x-window
+          ``(2 eps - eps^2 / w) / w`` (the historical model).
+        * ``grid_hash`` probes each R point's 3x3 ``eps``-buckets: a
+          ``3 eps`` window in both axes.
+        * ``rtree`` visits whole leaves (capacity
+          :data:`_RTREE_LEAF_CAPACITY`) whose MBR intersects the probe's
+          eps-box; leaves tile the cell, so a probe touches
+          ``(2 eps / leaf_side + 1)^2`` of them.
+        """
+        eps = self.grid.eps
+        cw, ch = self.grid.cell_w, self.grid.cell_h
+        n_r, n_s = counts[Side.R], counts[Side.S]
+        products = n_r * n_s
+        if kernel == "nested_loop":
+            return products
+        if kernel == "plane_sweep":
+            window = min(1.0, max(0.0, (2 * eps - eps * eps / cw) / cw))
+            return products * window
+        if kernel == "grid_hash":
+            wx = min(1.0, 3.0 * eps / cw)
+            wy = min(1.0, 3.0 * eps / ch)
+            return products * (wx * wy)
+        if kernel == "rtree":
+            cap = float(_RTREE_LEAF_CAPACITY)
+            dense = np.maximum(n_s, 1.0)
+            leaf_side = np.sqrt(cw * ch * cap / dense)
+            overlapped = (2.0 * eps / leaf_side + 1.0) ** 2
+            per_probe = np.minimum(n_s, overlapped * cap)
+            return n_r * per_probe
+        raise ValueError(
+            f"unpriceable kernel {kernel!r}; choose from {PRICEABLE_KERNELS}"
+        )
+
+    def predict(
+        self,
+        method: str,
+        *,
+        kernel: str = "plane_sweep",
+        num_workers: int | None = None,
+    ) -> CostPrediction:
+        """Full prediction for one grid method.
+
+        ``kernel`` prices the local-join phase under that kernel's
+        candidate window; ``num_workers`` overrides the constructor's
+        worker count (both makespans and the remote shuffle fraction
+        depend on it).  The defaults reproduce the historical
+        plane-sweep predictions exactly.
+        """
         cm = self.cm
-        w = self.num_workers
+        w = self.num_workers if num_workers is None else num_workers
+        if w < 1:
+            raise ValueError("num_workers must be >= 1")
         repl = self.predicted_replication(method)
         records = self.n_r + self.n_s + repl[Side.R] + repl[Side.S]
         shuffle_bytes = (
@@ -235,11 +329,8 @@ class AnalyticalCostModel:
         remote_bytes = shuffle_bytes * remote_fraction
 
         counts = self._post_replication_counts(method)
-        products = counts[Side.R] * counts[Side.S]
-        eps, cw = self.grid.eps, self.grid.cell_w
-        # edge-clipped sweep window under within-cell uniformity
-        window = min(1.0, max(0.0, (2 * eps - eps * eps / cw) / cw))
-        candidates = float(products.sum() * window)
+        per_cell_candidates = self._kernel_candidates(kernel, counts)
+        candidates = float(per_cell_candidates.sum())
         results = self.predicted_results()
 
         from repro.engine.broadcast import grid_broadcast_bytes
@@ -260,12 +351,14 @@ class AnalyticalCostModel:
             + bcast_payload * cm.local_byte_cost
             + cm.job_overhead
         )
-        per_cell_cost = products * window * cm.compare_cost
+        per_cell_cost = per_cell_candidates * cm.compare_cost
         join = max(float(per_cell_cost.sum()) / w, float(per_cell_cost.max(initial=0.0)))
         join += results * cm.emit_cost / w
 
         return CostPrediction(
             method=method,
+            kernel=kernel,
+            workers=w,
             replicated_r=repl[Side.R],
             replicated_s=repl[Side.S],
             shuffle_records=records,

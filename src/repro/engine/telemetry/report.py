@@ -18,7 +18,10 @@ Sections:
   (max/mean ratio is the classic stragglers-at-a-glance number);
 * **recovery** -- chronological retry/speculation/degradation/salvage
   timeline, each entry carrying the triggering exception type+message;
-* **shuffle** -- the worker-to-worker shuffle byte matrix.
+* **shuffle** -- the worker-to-worker shuffle byte matrix;
+* **planner** -- when the run was cost-planned (``--tuning auto`` or the
+  serving hook), the chosen plan choices and per-stage
+  predicted-vs-measured modelled-clock error.
 """
 
 from __future__ import annotations
@@ -144,6 +147,19 @@ class RunReport:
             return None
         return [[int(v) for v in row] for row in matrix]
 
+    def planner(self) -> dict | None:
+        """Planner verdict + predicted-vs-measured error, if planned.
+
+        Populated from the ``planner`` registry meta the caller sets
+        after a cost-planned run: the chosen choice dimensions, the
+        predicted per-phase clocks, and -- once the run finished -- the
+        measured modelled clocks with relative errors.
+        """
+        info = self.registry.get_meta("planner")
+        if info is None:
+            return None
+        return dict(info)
+
     def counters(self) -> dict:
         """Scalar counters/gauges, flattened for quick scanning."""
         snap = self.registry.snapshot()["metrics"]
@@ -171,6 +187,7 @@ class RunReport:
             "workers": self.workers(),
             "recovery": self.recovery_timeline(),
             "shuffle_matrix": self.shuffle_matrix(),
+            "planner": self.planner(),
             "metrics": self.counters(),
         }
 
@@ -258,6 +275,30 @@ class RunReport:
             for i, row in enumerate(matrix):
                 cells = "".join(f"{_fmt_bytes(v):>10}" for v in row)
                 lines.append(f"  w{i:<4}{cells}")
+
+        planner = self.planner()
+        if planner:
+            lines.append("")
+            lines.append("planner")
+            lines.append("-" * 72)
+            chosen = planner.get("chosen") or {}
+            if chosen:
+                lines.append(
+                    "  chosen: "
+                    + "  ".join(f"{k}={chosen[k]}" for k in sorted(chosen))
+                )
+            errors = planner.get("errors") or {}
+            for phase in sorted(errors):
+                err = errors[phase]
+                lines.append(
+                    f"  {phase:<24}pred {err['predicted']:.4g}s  "
+                    f"meas {err['measured']:.4g}s  "
+                    f"err {err['relative_error'] * 100:+.1f}%"
+                )
+            for key, value in sorted(planner.items()):
+                if key in ("chosen", "errors"):
+                    continue
+                lines.append(f"  {key:<24}{value}")
 
         metrics = self.counters()
         if metrics:

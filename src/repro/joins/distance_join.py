@@ -65,6 +65,7 @@ from repro.joins.pipeline import (
     make_context,
     run_staged_join,
 )
+from repro.joins.plan import PhysicalPlan, PlanInputs, distance_plan
 from repro.replication.assign import AdaptiveAssigner
 
 __all__ = [
@@ -383,12 +384,28 @@ class _OriginsStage(Stage):
         ctx.data["origins"] = origins
 
 
-def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
-    """Execute a parallel epsilon-distance join on the simulated cluster."""
+def distance_join(
+    r: PointSet,
+    s: PointSet,
+    cfg: JoinConfig,
+    plan: PhysicalPlan | None = None,
+) -> JoinResult:
+    """Execute a parallel epsilon-distance join on the simulated cluster.
+
+    The driver *builds a physical plan* from ``cfg`` (or replays a
+    supplied ``plan``, which must describe the same choices as ``cfg``)
+    and hands the plan's stage list to :func:`run_staged_join`.
+    """
     if cfg.eps <= 0:
         raise ValueError("eps must be positive")
     if not cfg.collect_pairs and not cfg.duplicate_free:
         raise ValueError("the deduplicating variant requires collect_pairs")
+    if plan is None:
+        plan = distance_plan(cfg)
+    elif plan.join_kind != "distance":
+        raise ValueError(
+            f"cannot replay a {plan.join_kind!r} plan on the distance driver"
+        )
     metrics = JoinMetrics(
         method=cfg.method,
         eps=cfg.eps,
@@ -398,21 +415,7 @@ def distance_join(r: PointSet, s: PointSet, cfg: JoinConfig) -> JoinResult:
         input_s=len(s),
     )
     ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
-    stages: list[Stage] = [
-        _BuildPartitionStage(r, s),
-        *AssignShuffleJoinStage(
-            _AssignStage(r, s),
-            cfg.local_kernel,
-            cfg.eps,
-            origins_stage=_OriginsStage(),
-            fused=cfg.fused,
-        ).stages(),
-        CollectPairsStage(cfg.collect_pairs),
-        JoinAccountingStage(),
-    ]
-    if not cfg.duplicate_free:
-        stages.append(DistinctStage(cfg.resolved_partitions()))
-    run_staged_join(stages, ctx)
+    run_staged_join(plan.stages(PlanInputs(r=r, s=s)), ctx)
     r_ids, s_ids = ctx.data["r_ids"], ctx.data["s_ids"]
     metrics.results = len(r_ids) if cfg.collect_pairs else ctx.data["result_count"]
     return JoinResult(r_ids, s_ids, metrics)

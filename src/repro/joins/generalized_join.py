@@ -71,6 +71,7 @@ from repro.joins.pipeline import (
     make_context,
     run_staged_join,
 )
+from repro.joins.plan import PhysicalPlan, PlanInputs, generalized_plan
 from repro.partitioning.rect_partition import (
     GridRectPartition,
     QuadtreeRectPartition,
@@ -355,13 +356,26 @@ class _OwnershipStage(Stage):
 
 
 def generalized_distance_join(
-    r: PointSet, s: PointSet, cfg: GeneralizedJoinConfig
+    r: PointSet,
+    s: PointSet,
+    cfg: GeneralizedJoinConfig,
+    plan: PhysicalPlan | None = None,
 ) -> JoinResult:
-    """Epsilon-distance join with adaptive replication on any partition."""
+    """Epsilon-distance join with adaptive replication on any partition.
+
+    The driver builds a physical plan from ``cfg`` (or replays the
+    supplied one) and hands its stage list to :func:`run_staged_join`.
+    """
     if cfg.eps <= 0:
         raise ValueError("eps must be positive")
     if cfg.method not in METHODS:
         raise ValueError(f"unknown method {cfg.method!r}; choose from {METHODS}")
+    if plan is None:
+        plan = generalized_plan(cfg)
+    elif plan.join_kind != "generalized":
+        raise ValueError(
+            f"cannot replay a {plan.join_kind!r} plan on the generalized driver"
+        )
     metrics = JoinMetrics(
         method=f"{cfg.partition}-{cfg.method}",
         eps=cfg.eps,
@@ -370,18 +384,7 @@ def generalized_distance_join(
         input_s=len(s),
     )
     ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
-    stages: list[Stage] = [
-        _RectangulationStage(r, s),
-        *AssignShuffleJoinStage(
-            _ReplicationStage(r, s),
-            "plane_sweep",
-            cfg.eps,
-            fused=cfg.fused,
-        ).stages(),
-        _OwnershipStage(r, s),
-        JoinAccountingStage(),
-    ]
-    run_staged_join(stages, ctx)
+    run_staged_join(plan.stages(PlanInputs(r=r, s=s)), ctx)
     r_ids, s_ids = ctx.data["r_ids"], ctx.data["s_ids"]
     metrics.results = len(r_ids)
     return JoinResult(r_ids, s_ids, metrics)

@@ -62,6 +62,7 @@ from repro.joins.pipeline import (
     make_context,
     run_staged_join,
 )
+from repro.joins.plan import PhysicalPlan, PlanInputs, object_plan
 
 
 class ObjectSet:
@@ -334,12 +335,16 @@ def object_join(
     eps: float,
     predicate: Callable[[SpatialObject, SpatialObject], bool],
     cfg: ObjectJoinConfig | None = None,
+    plan: PhysicalPlan | None = None,
 ) -> ObjectJoinResult:
     """The generic anchored object join; see the module docstring.
 
     ``eps`` is the object-distance threshold used for the MBR filter
     (``0`` for intersection joins); ``predicate`` decides each candidate
-    pair exactly.
+    pair exactly.  The driver builds a physical plan (the anchor sweep
+    IS the point plane-sweep kernel at the data-dependent ``eps_eff``)
+    and hands its stage list to :func:`run_staged_join`; a supplied
+    ``plan`` is replayed instead.
     """
     if r.side == s.side:
         raise ValueError("object sets must come from different inputs (R and S)")
@@ -350,6 +355,12 @@ def object_join(
     eps_eff = eps + r.max_radius + s.max_radius
     if eps_eff <= 0:
         raise ValueError("degenerate join: eps and object radii are all zero")
+    if plan is None:
+        plan = object_plan(cfg, eps, eps_eff)
+    elif plan.join_kind != "object":
+        raise ValueError(
+            f"cannot replay a {plan.join_kind!r} plan on the object driver"
+        )
     metrics = JoinMetrics(
         method=f"object-{cfg.method}",
         eps=eps,
@@ -359,19 +370,7 @@ def object_join(
         input_s=len(s),
     )
     ctx = make_context(cfg, num_workers=cfg.num_workers, metrics=metrics)
-    stages: list[Stage] = [
-        _AnchorReductionStage(r, s, eps_eff),
-        # the anchor sweep IS the point plane-sweep kernel at eps_eff
-        *AssignShuffleJoinStage(
-            _AnchorAssignStage(r, s),
-            "plane_sweep",
-            eps_eff,
-            fused=cfg.fused,
-        ).stages(),
-        _ExactRefineStage(r, s, eps, predicate),
-        JoinAccountingStage(),
-    ]
-    run_staged_join(stages, ctx)
+    run_staged_join(plan.stages(PlanInputs(r=r, s=s, predicate=predicate)), ctx)
     r_ids, s_ids = ctx.data["r_ids"], ctx.data["s_ids"]
     metrics.results = len(r_ids)
     return ObjectJoinResult(r_ids, s_ids, metrics)

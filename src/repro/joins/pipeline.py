@@ -268,6 +268,21 @@ def make_context(
             f"unknown execution backend {settings.execution_backend!r}; "
             f"choose from {BACKENDS}"
         )
+    # artifact cache and key only work as a pair: a key without a cache
+    # (or a cache without a key) would silently skip warm replay, which
+    # is indistinguishable from a cache bug at the call site -- fail fast
+    if settings.artifact_key is not None and settings.artifact_cache is None:
+        raise ValueError(
+            "artifact_key is set but artifact_cache is None: warm replay "
+            "needs the cache that owns the keyed bundle (pass both, or "
+            "neither for a one-shot build)"
+        )
+    if settings.artifact_cache is not None and settings.artifact_key is None:
+        raise ValueError(
+            "artifact_cache is set but artifact_key is None: without a key "
+            "naming the build inputs the cache can neither be consulted "
+            "nor filled (pass both, or neither for a one-shot build)"
+        )
     fault_plan = settings.fault_plan()
     cm = cost_model or getattr(cfg, "cost_model", None) or CostModel()
     telemetry = settings.telemetry or Telemetry.disabled()

@@ -50,6 +50,7 @@ from repro.joins.pipeline import (
     Stage,
     run_staged_join,
 )
+from repro.joins.plan import PlanInputs, spark_style_plan
 from repro.replication.assign import AdaptiveAssigner
 from repro.replication.pbsm import UniversalAssigner
 
@@ -259,17 +260,8 @@ def spark_style_join(
     if telemetry.enabled:
         ctx.shuffle.enable_matrix(cluster.num_workers)
     ctx.data["grid"] = Grid(mbr, eps)
-    run_staged_join(
-        [
-            _TextFileStage(path_r, path_s),
-            _SampleStage(),
-            _BroadcastBuildStage(),
-            _FlatMapToPairStage(),
-            _RDDJoinStage(),
-            _RDDDistinctStage(),
-        ],
-        ctx,
-    )
+    plan = spark_style_plan(cfg)
+    run_staged_join(plan.stages(PlanInputs(path_r=path_r, path_s=path_s)), ctx)
     return SparkStyleResult(
         pairs=ctx.data["pairs"],
         shuffle=ctx.shuffle,

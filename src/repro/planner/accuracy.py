@@ -1,0 +1,195 @@
+"""Predicted-vs-measured clock accuracy for the cost-based planner.
+
+The planner prices candidates with the analytical cost model; after the
+run, the engine reports the *measured* modelled clocks (the simulated
+cluster's makespans over the real data, not a sample).  This module maps
+the two onto each other:
+
+* prediction ``construction_time``  <->  the ``shuffle`` stage's
+  modelled makespan (grid build + replication + shuffle);
+* prediction ``join_time``          <->  the ``local_join`` stage's
+  modelled makespan;
+* their sum                         <->  ``JoinMetrics.exec_time_model``.
+
+Both comparison directions are supported: live (a
+:class:`~repro.engine.metrics.JoinMetrics` straight from a driver) and
+recorded (a ``RunReport.to_json()`` dict replayed from disk).  The
+relative errors are what the RunReport's planner section prints and what
+the regression tests bound: on the serial backend the measurement is
+deterministic, so sampling noise is the only error source.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "ClockError",
+    "clock_errors_from_metrics",
+    "clock_errors_from_report",
+    "replay_reports",
+    "summarize_errors",
+]
+
+#: prediction phase -> stage span name carrying the measured clock
+PHASE_STAGES = {"construction": "shuffle", "join": "local_join"}
+
+
+@dataclass(frozen=True)
+class ClockError:
+    """One phase's predicted vs measured modelled clock."""
+
+    phase: str
+    predicted: float
+    measured: float
+
+    @property
+    def absolute_error(self) -> float:
+        return self.predicted - self.measured
+
+    @property
+    def relative_error(self) -> float:
+        """Signed relative error, predicted against measured.
+
+        Positive means the planner over-estimated the phase.  A zero
+        measurement with a non-zero prediction reports ``inf`` rather
+        than hiding the miss.
+        """
+        if self.measured == 0.0:
+            return 0.0 if self.predicted == 0.0 else math.inf
+        return (self.predicted - self.measured) / self.measured
+
+    def to_payload(self) -> dict:
+        return {
+            "phase": self.phase,
+            "predicted": self.predicted,
+            "measured": self.measured,
+            "relative_error": self.relative_error,
+        }
+
+
+def clock_errors_from_metrics(prediction: Any, metrics: Any) -> list[ClockError]:
+    """Compare a :class:`CostPrediction` against live ``JoinMetrics``."""
+    return [
+        ClockError(
+            "construction",
+            float(prediction.construction_time),
+            float(metrics.construction_time_model),
+        ),
+        ClockError(
+            "join", float(prediction.join_time), float(metrics.join_time_model)
+        ),
+        ClockError(
+            "total", float(prediction.exec_time), float(metrics.exec_time_model)
+        ),
+    ]
+
+
+def _measured_from_stages(report: Mapping[str, Any]) -> dict[str, float]:
+    """Pull the per-stage modelled makespans out of a report dict."""
+    measured: dict[str, float] = {}
+    for row in report.get("stages", ()):
+        modelled = row.get("modelled_seconds")
+        if modelled is not None:
+            measured[row["stage"]] = float(modelled)
+    return measured
+
+
+def clock_errors_from_report(
+    prediction: Any, report: Mapping[str, Any]
+) -> list[ClockError]:
+    """Compare a :class:`CostPrediction` against a recorded report.
+
+    ``report`` is a ``RunReport.to_json()`` dict (or a ``RunReport``
+    itself).  Phases whose stage never ran (e.g. no ``local_join`` row)
+    are skipped rather than scored against zero.
+    """
+    if hasattr(report, "to_json"):
+        report = report.to_json()
+    measured = _measured_from_stages(report)
+    errors = []
+    for phase, stage in PHASE_STAGES.items():
+        if stage in measured:
+            errors.append(
+                ClockError(
+                    phase, float(getattr(prediction, f"{phase}_time")), measured[stage]
+                )
+            )
+    if all(s in measured for s in PHASE_STAGES.values()):
+        errors.append(
+            ClockError(
+                "total",
+                float(prediction.exec_time),
+                sum(measured[s] for s in PHASE_STAGES.values()),
+            )
+        )
+    return errors
+
+
+def replay_reports(reports: Iterable[Mapping[str, Any]]) -> list[ClockError]:
+    """Replay recorded reports that carry an embedded planner section.
+
+    Each report dict is expected to be ``RunReport.to_json()`` output
+    whose ``planner`` section holds the ``predicted`` clocks the planner
+    stamped before execution (``{"construction": s, "join": s}``).
+    Reports without a planner section (un-planned runs) are skipped.
+    Returns the flat list of clock errors across all replayed reports.
+    """
+    errors: list[ClockError] = []
+    for report in reports:
+        if hasattr(report, "to_json"):
+            report = report.to_json()
+        planner = report.get("planner") or {}
+        predicted = planner.get("predicted") or {}
+        if not predicted:
+            continue
+        measured = _measured_from_stages(report)
+        for phase, stage in PHASE_STAGES.items():
+            if phase in predicted and stage in measured:
+                errors.append(
+                    ClockError(phase, float(predicted[phase]), measured[stage])
+                )
+        if all(p in predicted for p in PHASE_STAGES) and all(
+            s in measured for s in PHASE_STAGES.values()
+        ):
+            errors.append(
+                ClockError(
+                    "total",
+                    sum(float(predicted[p]) for p in PHASE_STAGES),
+                    sum(measured[s] for s in PHASE_STAGES.values()),
+                )
+            )
+    return errors
+
+
+def summarize_errors(errors: Iterable[ClockError]) -> dict:
+    """Aggregate clock errors into the numbers the tests bound.
+
+    Returns overall and per-phase mean/max absolute relative error plus
+    the signed mean (systematic bias).  Infinite errors (zero
+    measurement, non-zero prediction) propagate into the maxima.
+    """
+    errors = list(errors)
+    if not errors:
+        return {"count": 0, "phases": {}, "max_abs_relative_error": 0.0}
+    by_phase: dict[str, list[ClockError]] = {}
+    for err in errors:
+        by_phase.setdefault(err.phase, []).append(err)
+    phases = {}
+    for phase, errs in sorted(by_phase.items()):
+        rels = [e.relative_error for e in errs]
+        phases[phase] = {
+            "count": len(errs),
+            "mean_abs_relative_error": sum(abs(r) for r in rels) / len(rels),
+            "max_abs_relative_error": max(abs(r) for r in rels),
+            "mean_signed_relative_error": sum(rels) / len(rels),
+        }
+    all_rels = [e.relative_error for e in errors]
+    return {
+        "count": len(errors),
+        "phases": phases,
+        "mean_abs_relative_error": sum(abs(r) for r in all_rels) / len(all_rels),
+        "max_abs_relative_error": max(abs(r) for r in all_rels),
+    }

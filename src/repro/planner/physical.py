@@ -1,0 +1,32 @@
+"""Physical plans -- the planner-facing re-export surface.
+
+The dataclasses are defined in :mod:`repro.joins.plan` so the four join
+drivers can *build* plans without importing upward through the layer
+boundary (``repro.planner`` sits above ``repro.joins``); this module is
+the canonical import path for everything planning-related above the
+drivers (the planner itself, serving, the CLI, tests).
+"""
+
+from repro.joins.plan import (
+    STAGE_BUILDERS,
+    PhysicalPlan,
+    PlanInputs,
+    PlanNode,
+    distance_plan,
+    generalized_plan,
+    object_plan,
+    register_stage_builder,
+    spark_style_plan,
+)
+
+__all__ = [
+    "PhysicalPlan",
+    "PlanInputs",
+    "PlanNode",
+    "STAGE_BUILDERS",
+    "register_stage_builder",
+    "distance_plan",
+    "object_plan",
+    "generalized_plan",
+    "spark_style_plan",
+]

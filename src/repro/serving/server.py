@@ -75,6 +75,12 @@ from repro.serving.protocol import (
     encode,
     error_response,
 )
+from repro.planner import (
+    JoinSpec,
+    PlanCache,
+    clock_errors_from_metrics,
+    plan_join,
+)
 from repro.serving.registry import CODENAMES, DatasetRegistry
 
 __all__ = ["JoinServer", "ServerConfig", "ServerHandle", "start_in_thread"]
@@ -97,6 +103,11 @@ ONE_SHOT_ONLY_FIELDS = (
     "execution_backend",
 )
 
+#: Plan dimensions a query may pin when asking for ``tuning: auto``;
+#: any of them present in the request stays fixed while the planner
+#: searches the rest.
+PLANNABLE_FIELDS = ("method", "kernel", "workers", "resolution_factor", "fused")
+
 #: Fields a ``query`` request may carry (beyond ``op``).
 QUERY_FIELDS = frozenset(
     {
@@ -106,6 +117,7 @@ QUERY_FIELDS = frozenset(
         "method",
         "kernel",
         "workers",
+        "tuning",
         "num_partitions",
         "cell_assignment",
         "sample_rate",
@@ -145,6 +157,9 @@ class ServerConfig:
     executor_workers: int | None = None
     #: Default simulated workers for queries that do not set ``workers``.
     default_workers: int = 12
+    #: Entries of the per-server plan cache (``tuning: auto`` verdicts,
+    #: keyed by dataset fingerprints + eps bucket + client pins).
+    plan_cache_entries: int = 64
     #: State directory (``None``: a fresh pid-tagged temp directory).
     state_dir: str | None = None
     #: Run the startup hygiene sweep before binding.
@@ -169,6 +184,8 @@ class ServerConfig:
             raise ValueError("max_queue must be >= 0")
         if self.default_workers < 1:
             raise ValueError("default_workers must be >= 1")
+        if self.plan_cache_entries < 1:
+            raise ValueError("plan_cache_entries must be >= 1")
 
 
 @dataclass
@@ -192,11 +209,36 @@ class QuerySpec:
     max_pairs: int | None = None
     trace: bool = False
     report: bool = False
+    #: ``"auto"``: the server's cost-based planner chooses every plan
+    #: dimension the request left unpinned (see docs/PLANNER.md).
+    tuning: str = "static"
+    #: Plan dimensions the request pinned explicitly (``tuning: auto``).
+    pinned: tuple = ()
 
     @classmethod
     def parse(cls, request: dict, config: ServerConfig) -> "QuerySpec":
+        tuning = str(request.get("tuning", "static"))
+        if tuning not in ("static", "auto"):
+            raise ProtocolError(
+                f"tuning must be 'static' or 'auto', got {tuning!r}"
+            )
         for name in ONE_SHOT_ONLY_FIELDS:
             if name in request:
+                if tuning == "auto" and name in ("backend", "execution_backend"):
+                    server_pins = {"backend": config.backend}
+                    if config.executor_workers is not None:
+                        server_pins["executor_workers"] = (
+                            config.executor_workers
+                        )
+                    pinned_text = ", ".join(
+                        f"{k}={v}" for k, v in server_pins.items()
+                    )
+                    raise ProtocolError(
+                        f"{name!r} is not a plannable choice: the server "
+                        f"pins these plan dimensions for every query "
+                        f"({pinned_text}); `tuning: auto` searches method, "
+                        f"kernel, workers and resolution_factor only"
+                    )
                 raise ProtocolError(
                     f"{name!r} is a one-shot flag: fault injection, spill "
                     f"tiers and backend choice belong to `repro join`; the "
@@ -237,6 +279,10 @@ class QuerySpec:
             ),
             trace=bool(request.get("trace", False)),
             report=bool(request.get("report", False)),
+            tuning=tuning,
+            pinned=tuple(
+                sorted(d for d in PLANNABLE_FIELDS if d in request)
+            ),
         )
         if spec.eps <= 0:
             raise ProtocolError(f"eps must be positive, got {spec.eps}")
@@ -318,6 +364,7 @@ class JoinServer:
             self.config.max_inflight, self.config.max_queue
         )
         self.registry = MetricsRegistry()  # server-lifetime aggregates
+        self.plans = PlanCache(self.config.plan_cache_entries)
         self._log = get_logger("repro.serving.server")
         # the result cache is a server-lifetime BlockStore: the same
         # memory tier + LRU eviction the shuffle uses, holding finished
@@ -547,6 +594,15 @@ class JoinServer:
         r = self.datasets.get(spec.r)
         s = self.datasets.get(spec.s)
         self.registry.counter("serve.queries").inc()
+        loop = asyncio.get_running_loop()
+        planned = None
+        if spec.tuning == "auto":
+            # resolve the plan before keying: caching and coalescing see
+            # the concrete chosen choices, so an auto query and the
+            # equivalent static query share artifacts and results
+            spec, planned = await loop.run_in_executor(
+                self._pool, lambda: self._plan_query(spec, r, s)
+            )
         cfg = spec.join_config(self.config)
         qkey = query_key(cfg, r.fingerprint, s.fingerprint)
         akey = grid_partition_key(cfg, r.fingerprint, s.fingerprint)
@@ -557,15 +613,91 @@ class JoinServer:
             spec.trace,
             spec.report,
         )
-        loop = asyncio.get_running_loop()
         payload = await self.admission.run(
             coalesce_key,
             lambda: loop.run_in_executor(
                 self._pool,
-                lambda: self._execute_query(spec, cfg, r, s, qkey, akey),
+                lambda: self._execute_query(
+                    spec, cfg, r, s, qkey, akey, planned=planned
+                ),
             ),
         )
         return payload
+
+    def _plan_query(self, spec, r, s):
+        """Run the cost-based planner for an ``auto`` query (pool thread).
+
+        Chosen plans are cached by dataset fingerprints + eps bucket +
+        the client's pins; a hit replays the cached choice without
+        re-sampling.  Returns the spec rewritten to the chosen choices
+        plus a payload-ready planner summary.
+        """
+        from dataclasses import replace as _replace
+
+        pins = {}
+        for dim in spec.pinned:
+            if dim == "fused":
+                continue  # fused is carried via the spec, not searched
+            pins[dim] = getattr(
+                spec, "workers" if dim == "workers" else dim
+            )
+        key = PlanCache.key(
+            r.fingerprint,
+            s.fingerprint,
+            spec.eps,
+            pins,
+            backend=self.config.backend,
+            fused=spec.fused,
+            sample_rate=spec.sample_rate,
+            seed=spec.seed,
+        )
+        cached = self.plans.get(key)
+        cache_hit = cached is not None
+        if cached is None:
+            base = JoinConfig(
+                eps=spec.eps,
+                sample_rate=spec.sample_rate,
+                seed=spec.seed,
+                num_workers=spec.workers,
+                num_partitions=spec.num_partitions,
+                cell_assignment=spec.cell_assignment,
+                duplicate_free=spec.duplicate_free,
+                fused=spec.fused,
+                execution_backend=self.config.backend,
+                executor_workers=self.config.executor_workers,
+            )
+            jspec = JoinSpec.from_pointsets(
+                r.points,
+                s.points,
+                spec.eps,
+                sample_rate=spec.sample_rate,
+                seed=spec.seed,
+                r_fingerprint=r.fingerprint,
+                s_fingerprint=s.fingerprint,
+            )
+            cached = plan_join(
+                r.points,
+                s.points,
+                spec.eps,
+                pins=pins,
+                base=base,
+                sample_rate=spec.sample_rate,
+                seed=spec.seed,
+                spec=jspec,
+            )
+            self.plans.put(key, cached)
+            self.registry.counter("serve.plans").inc()
+        else:
+            self.registry.counter("serve.plan_cache_hits").inc()
+        chosen = cached.chosen
+        spec = _replace(
+            spec,
+            method=chosen.method,
+            kernel=chosen.kernel,
+            workers=chosen.workers,
+            resolution_factor=chosen.resolution_factor,
+        )
+        return spec, {"planned": cached, "cache_hit": cache_hit}
 
     async def _op_range(self, request: dict) -> dict:
         """Envelope query over one dataset via a cached STR R-tree."""
@@ -629,8 +761,14 @@ class JoinServer:
             },
             "admission": self.admission.stats(),
             "shared_pools": executor_mod.shared_pool_stats(),
+            "plan_cache": self.plans.stats(),
             "serving": {
                 "queries": reg.value("serve.queries"),
+                "plans": reg.value("serve.plans"),
+                "plan_cache_hits": reg.value("serve.plan_cache_hits"),
+                "plan_total_abs_rel_error_mean": (
+                    reg.histogram("serve.plan_total_abs_rel_error").mean
+                ),
                 "result_cache_hits": reg.value("serve.result_cache_hits"),
                 "warm_builds": reg.value("serve.warm_builds"),
                 "cold_builds": reg.value("serve.cold_builds"),
@@ -650,7 +788,18 @@ class JoinServer:
     # ------------------------------------------------------------------
     # query execution (runs on the thread pool)
     # ------------------------------------------------------------------
-    def _execute_query(self, spec, cfg, r, s, qkey, akey) -> dict:
+    def _planner_payload(self, planned: dict) -> dict:
+        """JSON-safe planner summary attached to an ``auto`` response."""
+        pj = planned["planned"]
+        return {
+            "cache_hit": planned["cache_hit"],
+            "chosen": pj.chosen.row(),
+            "candidates": len(pj.candidates),
+            "pins": dict(pj.pins),
+            "eps_bucket": PlanCache.key("", "", pj.spec.eps)[2],
+        }
+
+    def _execute_query(self, spec, cfg, r, s, qkey, akey, planned=None) -> dict:
         started = time.perf_counter()
         if spec.reuse_results:
             cached = self._result_cache_get(qkey)
@@ -665,6 +814,8 @@ class JoinServer:
                     warm_artifacts=self.artifacts.contains(akey),
                     run_id=None,
                 )
+                if planned is not None:
+                    payload["planner"] = self._planner_payload(planned)
                 return self._finish(payload, started)
 
         warm = self.artifacts.contains(akey)
@@ -690,6 +841,35 @@ class JoinServer:
             warm_artifacts=warm,
             run_id=telemetry.run_id,
         )
+        if planned is not None:
+            planner_payload = self._planner_payload(planned)
+            prediction = planned["planned"].chosen.prediction
+            errors = clock_errors_from_metrics(prediction, result.metrics)
+            planner_payload["errors"] = {
+                e.phase: e.to_payload() for e in errors
+            }
+            for err in errors:
+                if err.phase == "total" and err.measured > 0:
+                    self.registry.histogram(
+                        "serve.plan_total_abs_rel_error"
+                    ).observe(abs(err.relative_error))
+            payload["planner"] = planner_payload
+            telemetry.registry.set_meta(
+                "planner",
+                {
+                    "chosen": {
+                        k: v
+                        for k, v in planned["planned"].chosen.row().items()
+                        if not k.startswith("predicted_")
+                    },
+                    "predicted": {
+                        "construction": prediction.construction_time,
+                        "join": prediction.join_time,
+                    },
+                    "errors": planner_payload["errors"],
+                    "plan_cache_hit": planned["cache_hit"],
+                },
+            )
         if spec.trace:
             payload["spans"] = len(telemetry.tracer)
         if spec.report:

@@ -12,6 +12,13 @@ The refactor's layering contract, checked by walking every module's AST
 - ``repro.serving`` (the resident join server) composes the drivers and
   the engine; only the CLI sits above it, and nothing below it may
   import it.
+- ``repro.planner`` (the query-plan layer) sits above ``repro.core``/
+  ``repro.engine``/``repro.joins`` and below ``repro.serving`` and the
+  CLI: the planner prices and chooses plans, serving and the CLI consume
+  them, and nothing the planner prices may import the planner back.
+  (The physical-plan *dataclasses* live in ``repro.joins.plan`` so the
+  drivers can build plans without an upward import; ``repro.planner``
+  re-exports them.)
 """
 
 import ast
@@ -26,11 +33,17 @@ SRC_ROOT = os.path.join(
 #: layer prefix -> module prefixes it must never depend on
 FORBIDDEN = {
     "repro.engine": ("repro.joins", "repro.cli", "repro.bench",
-                     "repro.serving"),
-    "repro.joins": ("repro.cli", "repro.bench", "repro.serving"),
+                     "repro.serving", "repro.planner"),
+    "repro.joins": ("repro.cli", "repro.bench", "repro.serving",
+                    "repro.planner"),
     # the serving layer sits on top of the drivers but below the CLI:
     # it composes joins + engine, and nothing below it may know it exists
     "repro.serving": ("repro.cli", "repro.bench"),
+    # the planner prices what core/engine/joins build; it sits above all
+    # three and below serving/cli, so nothing it prices imports it back
+    "repro.planner": ("repro.cli", "repro.bench", "repro.serving"),
+    "repro.core": ("repro.cli", "repro.bench", "repro.serving",
+                   "repro.planner"),
     # telemetry is the engine's bottom layer: everything above publishes
     # into it, so it must not import any engine sibling (or anything
     # higher) -- only the stdlib and numpy-free leaves
@@ -124,6 +137,42 @@ def test_stages_live_below_the_cli():
     imports = imported_modules("repro.joins.pipeline", pipeline)
     assert not any(in_layer(i, "repro.cli") for i in imports)
     assert any(in_layer(i, "repro.engine") for i in imports)
+
+
+def test_planner_sits_between_joins_and_serving():
+    """The planner prices joins/core below it; serving consumes it above."""
+    modules = dict(MODULES)
+    names = set(modules)
+    assert "repro.planner" in names
+    assert "repro.planner.planner" in names
+    assert "repro.planner.logical" in names
+    assert "repro.planner.physical" in names
+    assert "repro.joins.plan" in names
+    # the planner builds on core + joins (downward imports exist) ...
+    planner_imports = set()
+    for module, path in MODULES:
+        if in_layer(module, "repro.planner"):
+            planner_imports |= imported_modules(module, path)
+    assert any(in_layer(i, "repro.core") for i in planner_imports)
+    assert any(in_layer(i, "repro.joins") for i in planner_imports)
+    # ... and serving + cli consume the planner from above
+    for consumer in ("repro.serving.server", "repro.cli"):
+        imports = imported_modules(consumer, modules[consumer])
+        assert any(in_layer(i, "repro.planner") for i in imports), (
+            f"{consumer} should plan through repro.planner"
+        )
+
+
+def test_drivers_build_plans_without_importing_the_planner():
+    """Drivers build physical plans via repro.joins.plan, never upward."""
+    modules = dict(MODULES)
+    for driver in ("repro.joins.distance_join", "repro.joins.object_join",
+                   "repro.joins.generalized_join", "repro.joins.spark_style"):
+        imports = imported_modules(driver, modules[driver])
+        assert any(in_layer(i, "repro.joins.plan") for i in imports), (
+            f"{driver} should build its stages from a physical plan"
+        )
+        assert not any(in_layer(i, "repro.planner") for i in imports)
 
 
 def test_telemetry_sits_below_executor_and_pipeline():
