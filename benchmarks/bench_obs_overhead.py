@@ -1,0 +1,160 @@
+"""Observability overhead benchmark: what does continuous obs cost?
+
+Runs the same served workload twice -- once on a bare server and once
+with the full continuous-observability surface enabled (RunHistory
+store, Prometheus scrape endpoint, SLO watchdog) -- and records per-
+temperature latency plus the overhead ratio.  The join answer must be
+identical in both modes (observability never touches the data path);
+the warm-artifact overhead ratio is the number the perfsmoke guard in
+``tests/test_obs.py`` protects (< 2%).
+
+Results land in ``benchmarks/results/BENCH_obs.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --n 50000 --eps 0.008 --repeats 5
+"""
+
+import argparse
+import json
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import bench_run_metadata
+
+RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_obs.json"
+
+MODES = ("obs_off", "obs_on")
+
+
+def _timed_query(client, **fields):
+    t0 = time.perf_counter()
+    response = client.query(**fields)
+    return time.perf_counter() - t0, response
+
+
+def run_mode(mode, config, n, eps, kernel, repeats):
+    """One server lifetime: cold + warm-artifact + warm-result latencies."""
+    from repro.serving import connect, start_in_thread
+
+    base = dict(r="R", s="S", eps=eps, kernel=kernel, method="lpib",
+                max_pairs=0)
+    with start_in_thread(config) as handle:
+        address = handle.address
+        with connect(address, timeout=600.0) as client:
+            client.register("R", "R1", base_n=n)
+            client.register("S", "S1", base_n=n)
+
+            cold_wall, cold = _timed_query(client, **base)
+            warm_art = []
+            for _ in range(repeats):
+                wall, resp = _timed_query(client, **base,
+                                          reuse_results=False)
+                assert resp["warm_artifacts"]
+                warm_art.append(wall)
+            warm_res = []
+            for _ in range(repeats):
+                wall, resp = _timed_query(client, **base)
+                assert resp["cached_result"]
+                warm_res.append(wall)
+
+            stats = client.stats()
+    history = stats.get("history") or {}
+    return {
+        "mode": mode,
+        "n": n,
+        "eps": eps,
+        "kernel": kernel,
+        "repeats": repeats,
+        "results": cold["results"],
+        "cold_seconds": round(cold_wall, 4),
+        "warm_artifact_seconds": round(min(warm_art), 4),
+        "warm_artifact_mean_seconds": round(statistics.mean(warm_art), 4),
+        "warm_result_seconds": round(min(warm_res), 5),
+        "history_reports": history.get("appended", 0),
+        "history_bytes": history.get("active_bytes", 0),
+        "slo_observed": (stats.get("slo") or {}).get("observed", 0),
+        "metrics_endpoint": bool(stats.get("metrics_endpoint")),
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=50_000, help="points per side")
+    ap.add_argument("--eps", type=float, default=0.008)
+    ap.add_argument("--kernel", default="grid_hash")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="warm measurements per temperature; min is kept")
+    ap.add_argument("--out", default=str(RESULTS))
+    args = ap.parse_args(argv)
+
+    from repro.serving import ServerConfig
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        configs = {
+            "obs_off": ServerConfig(backend="serial"),
+            "obs_on": ServerConfig(
+                backend="serial",
+                history_path=str(Path(tmp) / "history.jsonl"),
+                metrics_port=0,
+                slo_p95_seconds=60.0,
+            ),
+        }
+        for mode in MODES:
+            row = run_mode(
+                mode, configs[mode], args.n, args.eps, args.kernel,
+                args.repeats,
+            )
+            rows.append(row)
+            print(
+                f"{mode:>8}: cold {row['cold_seconds']:.3f}s | "
+                f"warm artifacts {row['warm_artifact_seconds']:.3f}s | "
+                f"warm result {row['warm_result_seconds'] * 1e3:.2f}ms | "
+                f"{row['results']:,} results"
+            )
+
+    off, on = rows
+    assert on["results"] == off["results"], (
+        "observability changed the answer: "
+        f"{on['results']} vs {off['results']} results"
+    )
+    assert on["history_reports"] > 0 and on["metrics_endpoint"], (
+        "obs_on mode must actually exercise the observability surface"
+    )
+    overhead = {
+        "warm_artifact_ratio": round(
+            on["warm_artifact_seconds"]
+            / max(off["warm_artifact_seconds"], 1e-9), 4
+        ),
+        "cold_ratio": round(
+            on["cold_seconds"] / max(off["cold_seconds"], 1e-9), 4
+        ),
+    }
+    print(
+        f"overhead: warm x{overhead['warm_artifact_ratio']:.3f}, "
+        f"cold x{overhead['cold_ratio']:.3f} "
+        f"({on['history_reports']} reports appended)"
+    )
+
+    payload = {
+        "description": (
+            "continuous-observability overhead: bare server vs history + "
+            "metrics endpoint + SLO watchdog"
+        ),
+        **bench_run_metadata(),
+        "overhead": overhead,
+        "runs": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,6 +103,19 @@ def _port(text: str) -> int:
     return value
 
 
+def _metrics_port(text: str) -> int:
+    """argparse type: a TCP port in [0, 65535] (0 = ephemeral)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not (0 <= value <= 65535):
+        raise argparse.ArgumentTypeError(
+            f"port must be in [0, 65535], got {value}"
+        )
+    return value
+
+
 def _register_spec(text: str) -> tuple[str, str]:
     """argparse type: a ``NAME=SPEC`` dataset registration."""
     name, sep, spec = text.partition("=")
@@ -208,11 +221,14 @@ def _validate_join_args(args: argparse.Namespace) -> str | None:
         return "--trace-format requires --trace"
     if args.quiet and args.log_level not in (None, "quiet"):
         return f"--quiet conflicts with --log-level {args.log_level}"
-    if ((args.trace is not None or args.report)
+    if ((args.trace is not None or args.report or args.history is not None)
             and args.join == "distance" and args.method not in GRID_METHODS):
-        return (f"--trace/--report cover the staged pipeline; with "
-                f"--join distance they apply to grid methods only "
+        return (f"--trace/--report/--history cover the staged pipeline; "
+                f"with --join distance they apply to grid methods only "
                 f"({', '.join(GRID_METHODS)})")
+    if args.history is not None and args.join == "spark-style":
+        return ("--history appends the staged pipeline's RunReport; "
+                "--join spark-style does not run the staged pipeline")
     return None
 
 
@@ -240,6 +256,9 @@ def _execution_options(args: argparse.Namespace) -> dict:
     telemetry = getattr(args, "_telemetry", None)
     if telemetry is not None:
         options["telemetry"] = telemetry
+    history = getattr(args, "_history", None)
+    if history is not None:
+        options["history"] = history
     return options
 
 
@@ -349,6 +368,11 @@ def _emit_telemetry(args: argparse.Namespace) -> None:
         if not args.quiet:
             print(f"trace ({fmt}, {len(telemetry.tracer)} spans) "
                   f"written to {args.trace}")
+    history = getattr(args, "_history", None)
+    if history is not None:
+        history.close()
+        if not args.quiet:
+            print(f"run report appended to {args.history}")
     if args.report:
         print(telemetry.report().render())
 
@@ -392,8 +416,12 @@ def _cmd_join(args: argparse.Namespace) -> int:
     level = "quiet" if args.quiet else args.log_level
     if level is not None:
         configure_logging(level)
-    if args.trace is not None or args.report:
+    if args.trace is not None or args.report or args.history is not None:
         args._telemetry = Telemetry.create()
+    if args.history is not None:
+        from repro.obs import RunHistory
+
+        args._history = RunHistory(args.history)
     result, n_r, n_s = _run_join_variant(args)
     _publish_planner_meta(args, result)
     unit = "objects" if args.join in ("object", "intersection") else "points"
@@ -608,8 +636,8 @@ def _validate_query_args(args: argparse.Namespace) -> str | None:
     )
     if wants_join and not (args.r and args.s and args.eps is not None):
         return "--r, --s and --eps must be given together for a join query"
-    if not (wants_join or args.register or args.stats or args.ping
-            or args.shutdown_server):
+    if not (wants_join or args.register or args.stats or args.stats_json
+            or args.ping or args.shutdown_server):
         return ("nothing to do: give a query (--r/--s/--eps), --register, "
                 "--stats, --ping or --shutdown-server")
     return None
@@ -638,6 +666,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             executor_workers=args.executor_workers,
             default_workers=args.workers,
             sweep_on_start=not args.no_sweep,
+            history_path=args.history,
+            history_max_bytes=int(args.history_max_mb * 1e6),
+            metrics_port=args.metrics_port,
+            slo_p95_seconds=args.slo_p95,
+            slo_p99_seconds=args.slo_p99,
+            slo_error_rate=args.slo_error_rate,
+            slo_window_seconds=args.slo_window,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -651,8 +686,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"registered {name} <- {spec}")
 
     import asyncio as _asyncio
+    import signal as _signal
 
     async def _main():
+        # a clean SIGTERM (systemd stop, docker stop, os.kill) drains
+        # in-flight queries and closes history/trace files -- no partial
+        # JSONL lines (add_signal_handler is loop-thread safe)
+        loop = _asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(
+                _signal.SIGTERM, server.request_shutdown
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-unix event loops: ctrl-c still works
         await server.start()
         if not args.quiet:
             print(f"join server listening on {server.address} "
@@ -738,15 +784,59 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 print(f"  ({rid}, {sid})")
             if args.report and response.get("report"):
                 print(response["report"])
-        if args.stats:
-            import json as _json
+        if args.stats or args.stats_json:
+            stats = client.stats()
+            if args.stats_json:
+                import json as _json
 
-            print(_json.dumps(client.stats(), indent=2, default=str))
+                print(_json.dumps(stats, indent=2, default=str))
+            else:
+                from repro.obs import render_stats
+
+                print(render_stats(stats), end="")
         if args.shutdown_server:
             client.shutdown()
             print("server shutting down")
     except (ServerError, ConnectionError, OSError) as exc:
         print(str(exc), file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a running server (see repro.obs.top)."""
+    if (args.socket is None) == (args.port is None):
+        print("provide exactly one of --socket and --port (where the "
+              "server listens)", file=sys.stderr)
+        return 2
+    if args.host != "127.0.0.1" and args.port is None:
+        print("--host requires --port (unix sockets have no host)",
+              file=sys.stderr)
+        return 2
+    from repro.obs import TopDashboard
+    from repro.serving import JoinClient, ServerError
+
+    try:
+        client = JoinClient(
+            socket_path=args.socket, host=args.host, port=args.port,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot reach the server: {exc}", file=sys.stderr)
+        return 1
+    iterations = 1 if args.once else (args.iterations or None)
+    dashboard = TopDashboard(
+        client.stats,
+        interval=args.interval,
+        iterations=iterations,
+        clear=not (args.no_clear or args.once),
+    )
+    try:
+        dashboard.run()
+    except (ServerError, ConnectionError, OSError) as exc:
+        print(f"lost the server: {exc}", file=sys.stderr)
         return 1
     finally:
         client.close()
@@ -861,6 +951,10 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--report", action="store_true",
                       help="print a Spark-UI-style run report (stages, "
                            "worker skew, recovery timeline, shuffle matrix)")
+    join.add_argument("--history", default=None, metavar="PATH",
+                      help="append this run's RunReport to a JSONL "
+                           "run-history store (accumulates across runs; "
+                           "see docs/OBSERVABILITY.md)")
     join.add_argument("--log-level", choices=LOG_LEVELS, default=None,
                       help="configure the 'repro' structured logger "
                            "('quiet' silences warnings)")
@@ -950,8 +1044,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bind address for --port (default 127.0.0.1)")
     serve.add_argument("--backend", choices=SERVING_BACKENDS,
                        default="serial",
-                       help="execution backend every query runs on (the "
-                            "cluster backend is one-shot only)")
+                       help="execution backend every query runs on "
+                            "(cluster forks a daemon fleet per query; its "
+                            "daemon health feeds the stats op and the "
+                            "metrics exporter)")
     serve.add_argument("--executor-workers", type=_positive_int,
                        default=None, metavar="N",
                        help="OS-level worker cap of the parallel backends")
@@ -983,6 +1079,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-sweep", action="store_true",
                        help="skip the startup hygiene sweep of stale "
                             "server state dirs and sockets")
+    serve.add_argument("--history", default=None, metavar="PATH",
+                       help="append every executed query's RunReport to "
+                            "this JSONL run-history store (replayable via "
+                            "repro.planner.accuracy.replay_reports; see "
+                            "docs/OBSERVABILITY.md)")
+    serve.add_argument("--history-max-mb", type=_positive_float,
+                       default=64.0, metavar="MB",
+                       help="rotate the history file past this size "
+                            "(two rotated generations are retained)")
+    serve.add_argument("--metrics-port", type=_metrics_port, default=None,
+                       metavar="PORT",
+                       help="serve Prometheus text-format metrics on this "
+                            "localhost HTTP port (0 = ephemeral; GET "
+                            "/metrics)")
+    serve.add_argument("--slo-p95", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="SLO watchdog: rolling-window p95 latency "
+                            "threshold; breaches log an alert and set the "
+                            "stats op's degraded flag")
+    serve.add_argument("--slo-p99", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="SLO watchdog: rolling-window p99 latency "
+                            "threshold")
+    serve.add_argument("--slo-error-rate", type=_positive_float,
+                       default=None, metavar="RATE",
+                       help="SLO watchdog: rolling-window failed-query "
+                            "rate threshold in (0, 1]")
+    serve.add_argument("--slo-window", type=_positive_float, default=300.0,
+                       metavar="SECONDS",
+                       help="SLO watchdog rolling-window length")
     serve.add_argument("--log-level", choices=LOG_LEVELS, default=None)
     serve.add_argument("--quiet", action="store_true")
     _add_one_shot_traps(serve)
@@ -1037,12 +1163,43 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--report", action="store_true",
                        help="print the server-rendered run report")
     query.add_argument("--stats", action="store_true",
-                       help="print the server's cache/admission statistics")
+                       help="print the server's statistics as a rendered "
+                            "dashboard (latency percentiles, cache hit "
+                            "rates, planner error, SLO verdict)")
+    query.add_argument("--stats-json", action="store_true",
+                       help="with --stats: print the raw JSON payload "
+                            "instead of the rendered dashboard")
     query.add_argument("--ping", action="store_true")
     query.add_argument("--shutdown-server", action="store_true",
                        help="ask the server to shut down")
     _add_one_shot_traps(query)
     query.set_defaults(fn=_cmd_query)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running join server "
+             "(latency percentiles, cache hit rates, queue depth, "
+             "daemon liveness; polls the stats op)",
+    )
+    top.add_argument("--socket", default=None, metavar="PATH",
+                     help="the server's unix socket")
+    top.add_argument("--port", type=_port, default=None,
+                     help="the server's localhost TCP port")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--timeout", type=_positive_float, default=10.0,
+                     help="client-side response timeout in seconds")
+    top.add_argument("--interval", type=_positive_float, default=2.0,
+                     metavar="SECONDS",
+                     help="seconds between polls")
+    top.add_argument("--iterations", type=_nonnegative_int, default=0,
+                     metavar="N",
+                     help="frames to render before exiting (0 = loop "
+                          "until ctrl-c)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no screen clears)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="scroll frames instead of clearing the screen")
+    top.set_defaults(fn=_cmd_top)
 
     return parser
 

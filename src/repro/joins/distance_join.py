@@ -169,6 +169,10 @@ class JoinConfig:
     #: serving layer; one-shot runs leave both ``None`` and rebuild.
     artifact_cache: Any = field(default=None, repr=False, compare=False)
     artifact_key: tuple | None = field(default=None, repr=False, compare=False)
+    #: Run-history sink (``repro.obs.RunHistory`` or anything with
+    #: ``append_report``); the pipeline appends this run's RunReport at
+    #: job end.  ``None`` (the default) keeps history off.
+    history: Any = field(default=None, repr=False, compare=False)
     #: Run assign -> shuffle -> local-join fused in columnar mode: the
     #: shuffle's sort feeds the plan builder directly (no per-cell group
     #: dicts), task payloads ship shared-memory slice descriptors, and

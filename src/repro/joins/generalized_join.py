@@ -47,6 +47,7 @@ shared stages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -125,6 +126,9 @@ class GeneralizedJoinConfig:
     #: The run's :class:`~repro.engine.telemetry.Telemetry` bundle (span
     #: tracer + metrics registry); ``None`` keeps tracing disabled.
     telemetry: Telemetry | None = None
+    #: Run-history sink (``repro.obs.RunHistory`` or anything with
+    #: ``append_report``); ``None`` keeps history off.
+    history: Any = field(default=None, repr=False, compare=False)
     #: Fused columnar assign -> shuffle -> local-join (see the point
     #: driver's ``JoinConfig.fused``); bit-identical to ``fused=False``.
     fused: bool = True

@@ -160,6 +160,12 @@ class ExecutionSettings:
     #: disables cache consultation even when a cache is present --
     #: correctness first: no key, no reuse.
     artifact_key: tuple | None = field(default=None, repr=False)
+    #: Run-history sink (``repro.obs.RunHistory``, or anything with
+    #: ``append_report(report_dict)``).  When set, the pipeline appends
+    #: this run's ``RunReport.to_json()`` at job end -- duck-typed so the
+    #: joins layer never imports ``repro.obs``.  A history failure is
+    #: logged and swallowed: observability must never fail a join.
+    history: Any = field(default=None, repr=False)
 
     @classmethod
     def from_config(cls, cfg: Any) -> "ExecutionSettings":
@@ -390,7 +396,27 @@ def run_staged_join(stages: list[Stage], ctx: JoinContext) -> JoinContext:
             ctx.store = None
     ctx.metrics.wall_times = dict(ctx.timer.phases)
     _publish_run(ctx)
+    _append_history(ctx)
     return ctx
+
+
+def _append_history(ctx: JoinContext) -> None:
+    """Persist this run's RunReport into the duck-typed history sink.
+
+    Runs after :func:`_publish_run` so the stored report carries the
+    published metrics, stage rows and any pre-run planner meta (the
+    serving layer sets predicted clocks before the run so the stored
+    line replays through ``repro.planner.accuracy.replay_reports``).
+    """
+    history = ctx.settings.history
+    if history is None:
+        return
+    try:
+        history.append_report(ctx.telemetry.report().to_json())
+    except Exception as exc:  # observability must never fail a join
+        get_logger("repro.joins.pipeline", ctx.telemetry.run_id).warning(
+            "run-history append failed: %s", exc
+        )
 
 
 def _publish_run(ctx: JoinContext) -> None:

@@ -1,0 +1,360 @@
+"""Prometheus text-format metrics exporter and localhost scrape endpoint.
+
+The join server's :class:`repro.engine.telemetry.registry.MetricsRegistry`
+is a per-run, pull-nothing store; this module turns live server state
+into the Prometheus text exposition format (version 0.0.4) so standard
+scrapers and ``repro top`` can watch a resident server.
+
+Two halves:
+
+* :class:`MetricsExporter` -- a registry of *collectors*: each metric is
+  registered once with a name, kind (``counter``/``gauge``/``histogram``),
+  help text, and a zero-argument ``collect`` callable evaluated at render
+  time.  Naming rules (``repro_`` prefix, snake_case, unit suffixes) are
+  enforced at registration -- the same rules the pytest metrics-name lint
+  asserts -- so a misnamed metric fails fast in development rather than
+  silently shipping.
+* :class:`PrometheusEndpoint` -- a minimal asyncio HTTP/1.0 server bound
+  to localhost that answers ``GET /metrics`` with the rendered text.  It
+  mounts beside the serving line protocol on its own port (``0`` picks an
+  ephemeral one) and is the first rung of the ROADMAP's HTTP front-end.
+
+Collector return shapes (all evaluated lazily at scrape time):
+
+* counter/gauge: a number, or a list of ``(labels_dict, number)`` pairs;
+* histogram: a snapshot object with ``bounds``/``counts``/``sum``/``count``
+  attributes or keys (``repro.engine.telemetry.registry.Histogram``
+  satisfies this duck-type directly), or a list of
+  ``(labels_dict, snapshot)`` pairs.
+
+A collector that raises is skipped for that scrape and counted in the
+self-metric ``repro_exporter_collect_errors_total`` -- a broken gauge
+must never take down the scrape endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricSpec",
+    "MetricsExporter",
+    "PrometheusEndpoint",
+    "UNIT_SUFFIXES",
+    "validate_metric_name",
+]
+
+#: Prometheus text exposition content type
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: the only unit suffixes exported metrics may end with (plus bare
+#: dimensionless gauges); keep this list short and stable -- dashboards
+#: key on it
+UNIT_SUFFIXES = ("_seconds", "_bytes", "_total", "_ratio")
+
+KINDS = ("counter", "gauge", "histogram")
+
+_NAME_RE = re.compile(r"^repro(_[a-z][a-z0-9]*)+$")
+
+
+def validate_metric_name(name: str, kind: str) -> None:
+    """Raise ``ValueError`` unless ``name`` obeys the exporter contract.
+
+    Rules (mirrored by the pytest metrics-name lint):
+
+    * snake_case with a ``repro_`` prefix: lowercase ASCII segments
+      separated by single underscores;
+    * counters end ``_total``;
+    * histograms end in a unit suffix (``_seconds``, ``_bytes`` or the
+      dimensionless ``_ratio``);
+    * gauges never end ``_total`` (that suffix is reserved for
+      counters), and if they carry a unit word it must be the suffix
+      (``..._seconds``/``..._bytes``, never ``seconds_...``).
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown metric kind {kind!r}; expected one of {KINDS}")
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} must be snake_case with a 'repro_' prefix"
+        )
+    if kind == "counter":
+        if not name.endswith("_total"):
+            raise ValueError(f"counter {name!r} must end with '_total'")
+    else:
+        if name.endswith("_total"):
+            raise ValueError(
+                f"{kind} {name!r} must not end with '_total' (counters only)"
+            )
+    if kind == "histogram":
+        if not name.endswith(("_seconds", "_bytes", "_ratio")):
+            raise ValueError(
+                f"histogram {name!r} must end with '_seconds', '_bytes' or '_ratio'"
+            )
+    # unit words, when present, must be the terminal suffix
+    base = name
+    for suffix in ("_total",):
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+    for unit in ("seconds", "bytes"):
+        if unit in base.split("_") and not base.endswith("_" + unit):
+            raise ValueError(
+                f"metric {name!r} mentions unit '{unit}' but does not end with"
+                f" '_{unit}'"
+            )
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declared identity of one exported metric family."""
+
+    name: str
+    kind: str
+    help: str
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(val))}"' for key, val in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _histogram_fields(snapshot: Any) -> Tuple[Tuple[float, ...], List[int], float, int]:
+    """Duck-type a histogram snapshot into (bounds, counts, sum, count)."""
+    if isinstance(snapshot, dict):
+        bounds = tuple(snapshot["bounds"])
+        counts = list(snapshot["counts"])
+        total = float(snapshot.get("sum", 0.0))
+        count = int(snapshot.get("count", sum(counts)))
+    else:
+        bounds = tuple(snapshot.bounds)
+        counts = list(snapshot.counts)
+        total = float(getattr(snapshot, "sum", 0.0))
+        count = int(getattr(snapshot, "count", sum(counts)))
+    return bounds, counts, total, count
+
+
+class MetricsExporter:
+    """Registry of named collectors rendered as Prometheus text format."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, MetricSpec] = {}
+        self._collectors: Dict[str, Callable[[], Any]] = {}
+        self._scrapes = 0
+        self._collect_errors = 0
+        # self-observation: the exporter exports its own health
+        self.register(
+            "repro_exporter_scrapes_total",
+            "counter",
+            "Number of times the exporter rendered the metrics page.",
+            lambda: self._scrapes,
+        )
+        self.register(
+            "repro_exporter_collect_errors_total",
+            "counter",
+            "Collector callables that raised during a scrape (skipped).",
+            lambda: self._collect_errors,
+        )
+
+    def register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        collect: Callable[[], Any],
+    ) -> MetricSpec:
+        """Declare one metric family; validates name/kind/help eagerly."""
+        validate_metric_name(name, kind)
+        if not help_text or not help_text.strip():
+            raise ValueError(f"metric {name!r} must have non-empty help text")
+        if name in self._specs:
+            raise ValueError(f"metric {name!r} registered twice")
+        spec = MetricSpec(name=name, kind=kind, help=help_text.strip())
+        self._specs[name] = spec
+        self._collectors[name] = collect
+        return spec
+
+    def specs(self) -> List[MetricSpec]:
+        """All registered metric families, in registration order."""
+        return list(self._specs.values())
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def _samples(self, spec: MetricSpec, value: Any) -> Iterable[str]:
+        if spec.kind in ("counter", "gauge"):
+            pairs: List[Tuple[Dict[str, str], float]]
+            if isinstance(value, (list, tuple)):
+                pairs = [(labels, float(v)) for labels, v in value]
+            else:
+                pairs = [({}, float(value))]
+            for labels, v in pairs:
+                yield f"{spec.name}{_format_labels(labels)} {_format_value(v)}"
+            return
+        # histogram: cumulative buckets + _sum/_count per label set
+        series: List[Tuple[Dict[str, str], Any]]
+        if isinstance(value, (list, tuple)):
+            series = [(labels, snap) for labels, snap in value]
+        else:
+            series = [({}, value)]
+        for labels, snapshot in series:
+            bounds, counts, total, count = _histogram_fields(snapshot)
+            cumulative = 0
+            for bound, bucket_count in zip(bounds, counts):
+                cumulative += int(bucket_count)
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(bound)
+                yield (
+                    f"{spec.name}_bucket{_format_labels(bucket_labels)}"
+                    f" {cumulative}"
+                )
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = "+Inf"
+            yield f"{spec.name}_bucket{_format_labels(bucket_labels)} {count}"
+            yield f"{spec.name}_sum{_format_labels(labels)} {_format_value(total)}"
+            yield f"{spec.name}_count{_format_labels(labels)} {count}"
+
+    def render(self) -> str:
+        """Render every family as Prometheus text exposition format."""
+        self._scrapes += 1
+        lines: List[str] = []
+        for name, spec in self._specs.items():
+            try:
+                value = self._collectors[name]()
+            except Exception:
+                self._collect_errors += 1
+                continue
+            if value is None:
+                continue
+            lines.append(f"# HELP {spec.name} {_escape_help(spec.help)}")
+            lines.append(f"# TYPE {spec.name} {spec.kind}")
+            lines.extend(self._samples(spec, value))
+        return "\n".join(lines) + "\n"
+
+
+class PrometheusEndpoint:
+    """Minimal localhost HTTP scrape endpoint for a :class:`MetricsExporter`.
+
+    Deliberately tiny: HTTP/1.0 semantics, ``Connection: close``, two
+    routes (``/metrics`` and a ``/healthz`` liveness probe).  Binds to
+    loopback only -- observability never widens the server's network
+    surface.  ``port=0`` binds an ephemeral port, recorded in ``.port``
+    after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0].upper() if parts else ""
+            path = parts[1] if len(parts) > 1 else "/"
+            # drain headers until the blank line; we never use them
+            while True:
+                header = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if method not in ("GET", "HEAD"):
+                await self._respond(writer, 405, "method not allowed\n")
+            elif path.split("?")[0] == "/metrics":
+                body = self._render()
+                await self._respond(
+                    writer, 200, body, content_type=CONTENT_TYPE,
+                    head_only=method == "HEAD",
+                )
+            elif path.split("?")[0] == "/healthz":
+                await self._respond(writer, 200, "ok\n")
+            else:
+                await self._respond(writer, 404, "not found\n")
+        except (asyncio.TimeoutError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        *,
+        content_type: str = "text/plain; charset=utf-8",
+        head_only: bool = False,
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(
+            status, "Error"
+        )
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head if head_only else head + payload)
+        await writer.drain()

@@ -59,6 +59,13 @@ from repro.engine.hygiene import (
 )
 from repro.engine.telemetry import MetricsRegistry, Telemetry, get_logger
 from repro.geometry.mbr import MBR
+from repro.obs import (
+    MetricsExporter,
+    PrometheusEndpoint,
+    RunHistory,
+    SLOConfig,
+    SLOWatchdog,
+)
 from repro.joins.distance_join import (
     GRID_METHODS,
     JoinConfig,
@@ -86,9 +93,22 @@ from repro.serving.registry import CODENAMES, DatasetRegistry
 __all__ = ["JoinServer", "ServerConfig", "ServerHandle", "start_in_thread"]
 
 #: Execution backends a resident server may run queries on.  ``cluster``
-#: is excluded: its per-run daemon fleet is the opposite of a resident
-#: pool (and its SIGKILL chaos belongs to one-shot runs).
-SERVING_BACKENDS = ("serial", "threads", "processes")
+#: spawns a per-query daemon fleet rather than drawing on a resident
+#: pool (long-lived daemons are a ROADMAP rung), but serving it matters
+#: for observability: daemon health flows into the stats op, the
+#: Prometheus exporter and ``repro top``.  Fault injection still belongs
+#: to one-shot runs (``faults`` stays a rejected one-shot field).
+SERVING_BACKENDS = ("serial", "threads", "processes", "cluster")
+
+#: Phases whose |relative clock error| the server aggregates into
+#: histograms (``serve.plan_abs_rel_error.<phase>``) for the stats op
+#: and the exporter's ``repro_planner_clock_error_ratio`` family.
+PLANNER_ERROR_PHASES = ("construction", "join", "total")
+
+#: Bucket bounds for planner clock-error histograms: these hold error
+#: *ratios* (0.1 == 10% off), not seconds, so the log-spaced seconds
+#: defaults would waste most buckets.
+ERROR_RATIO_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
 
 #: Query-request fields that belong to the one-shot CLI surface only.
 #: They are rejected by name so a client porting ``repro join`` flags
@@ -129,6 +149,7 @@ QUERY_FIELDS = frozenset(
         "max_pairs",
         "trace",
         "report",
+        "return_spans",
     }
 )
 
@@ -164,6 +185,22 @@ class ServerConfig:
     state_dir: str | None = None
     #: Run the startup hygiene sweep before binding.
     sweep_on_start: bool = True
+    #: RunHistory JSONL path (``None``: history off).  Every executed
+    #: query appends its RunReport; the file replays through
+    #: ``repro.planner.accuracy.replay_reports``.
+    history_path: str | None = None
+    history_max_bytes: int = 64_000_000
+    history_retain_files: int = 2
+    #: Prometheus scrape endpoint port (``None``: exporter HTTP off;
+    #: ``0``: bind an ephemeral port).  Loopback only.
+    metrics_port: int | None = None
+    metrics_host: str = "127.0.0.1"
+    #: SLO watchdog thresholds (all ``None``: watchdog off).
+    slo_p95_seconds: float | None = None
+    slo_p99_seconds: float | None = None
+    slo_error_rate: float | None = None
+    slo_window_seconds: float = 300.0
+    slo_min_samples: int = 5
 
     def __post_init__(self):
         if self.socket_path is not None and self.port is not None:
@@ -173,8 +210,26 @@ class ServerConfig:
         if self.backend not in SERVING_BACKENDS:
             raise ValueError(
                 f"serving backend must be one of {SERVING_BACKENDS}, "
-                f"got {self.backend!r} (the cluster backend is one-shot only)"
+                f"got {self.backend!r}"
             )
+        if self.metrics_port is not None and not (
+            0 <= self.metrics_port <= 65535
+        ):
+            raise ValueError(
+                f"metrics_port must be in [0, 65535], got {self.metrics_port}"
+            )
+        if self.history_max_bytes < 0:
+            raise ValueError("history_max_bytes must be >= 0")
+        if self.history_retain_files < 1:
+            raise ValueError("history_retain_files must be >= 1")
+        # delegate threshold validation (and hold the parsed config)
+        object.__setattr__(self, "_slo_config", SLOConfig(
+            window_seconds=self.slo_window_seconds,
+            p95_seconds=self.slo_p95_seconds,
+            p99_seconds=self.slo_p99_seconds,
+            error_rate=self.slo_error_rate,
+            min_samples=self.slo_min_samples,
+        ))
         for name in ("cache_budget_bytes", "result_cache_bytes"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
@@ -209,6 +264,10 @@ class QuerySpec:
     max_pairs: int | None = None
     trace: bool = False
     report: bool = False
+    #: Return the merged span trees (``Span.to_dict`` rows) in the
+    #: response -- the cross-process span-merge test surface; requires
+    #: ``trace``.
+    return_spans: bool = False
     #: ``"auto"``: the server's cost-based planner chooses every plan
     #: dimension the request left unpinned (see docs/PLANNER.md).
     tuning: str = "static"
@@ -279,6 +338,7 @@ class QuerySpec:
             ),
             trace=bool(request.get("trace", False)),
             report=bool(request.get("report", False)),
+            return_spans=bool(request.get("return_spans", False)),
             tuning=tuning,
             pinned=tuple(
                 sorted(d for d in PLANNABLE_FIELDS if d in request)
@@ -311,6 +371,8 @@ class QuerySpec:
             raise ProtocolError("resolution_factor must be positive")
         if spec.max_pairs is not None and spec.max_pairs < 0:
             raise ProtocolError("max_pairs must be >= 0")
+        if spec.return_spans and not spec.trace:
+            raise ProtocolError("return_spans requires trace: true")
         return spec
 
     def join_config(self, config: ServerConfig, **extra) -> JoinConfig:
@@ -385,6 +447,225 @@ class JoinServer:
         self._closed = False
         self._shared_pools_enabled = False
         self.sweep_report: dict | None = None
+        # --- continuous observability (repro.obs), all off by default --
+        self.history = (
+            RunHistory(
+                self.config.history_path,
+                max_bytes=self.config.history_max_bytes,
+                retain_files=self.config.history_retain_files,
+            )
+            if self.config.history_path
+            else None
+        )
+        slo_config: SLOConfig = self.config._slo_config
+        self.slo = SLOWatchdog(slo_config) if slo_config.enabled else None
+        self._metrics_endpoint: PrometheusEndpoint | None = None
+        self.exporter = self._build_exporter()
+
+    # ------------------------------------------------------------------
+    # observability surfaces
+    # ------------------------------------------------------------------
+    def _result_cache_stats(self) -> dict:
+        return {
+            "entries": len(self._result_blocks),
+            "hits": self._results.hits,
+            "misses": self._results.misses,
+            "evictions": self._results.evictions,
+            "bytes": self._results.bytes_in_memory,
+            "limit_bytes": self.config.result_cache_bytes,
+        }
+
+    def _cache_stats(self) -> dict:
+        """All three cache tiers, keyed for labelled exporter families."""
+        return {
+            "artifact": self.artifacts.stats().to_dict(),
+            "result": self._result_cache_stats(),
+            "plan": self.plans.stats(),
+        }
+
+    def _cluster_stats(self) -> dict:
+        """Daemon-health counters accumulated across cluster queries."""
+        reg = self.registry
+        return {
+            "daemons_spawned": reg.value("serve.cluster_daemons_spawned"),
+            "daemons_lost": reg.value("serve.cluster_daemons_lost"),
+            "daemon_rejoins": reg.value("serve.cluster_daemon_rejoins"),
+            "blocks_refetched": reg.value("serve.cluster_blocks_refetched"),
+        }
+
+    def _planner_error_histograms(self) -> dict:
+        reg = self.registry
+        return {
+            phase: reg.histogram(
+                f"serve.plan_abs_rel_error.{phase}", ERROR_RATIO_BUCKETS
+            )
+            for phase in PLANNER_ERROR_PHASES
+        }
+
+    def _build_exporter(self) -> MetricsExporter:
+        """Register every Prometheus family over live server state.
+
+        Collectors close over ``self`` and are evaluated lazily at
+        scrape time, so registration costs nothing on the query path;
+        the families (and their naming rules) are pinned by the
+        metrics-name lint in ``tests/test_obs.py``.
+        """
+        reg = self.registry
+        ex = MetricsExporter()
+        ex.register(
+            "repro_server_uptime_seconds", "gauge",
+            "Seconds since the join server process started.",
+            lambda: time.time() - self._started_at,
+        )
+        ex.register(
+            "repro_server_info", "gauge",
+            "Constant 1; labels carry server identity (pid, backend).",
+            lambda: [(
+                {"pid": str(os.getpid()), "backend": self.config.backend},
+                1.0,
+            )],
+        )
+        ex.register(
+            "repro_queries_total", "counter",
+            "Join queries accepted by the query op.",
+            lambda: reg.value("serve.queries"),
+        )
+        ex.register(
+            "repro_queries_failed_total", "counter",
+            "Join queries that ended in an error response.",
+            lambda: reg.value("serve.queries_failed"),
+        )
+        ex.register(
+            "repro_errors_total", "counter",
+            "Requests of any op that returned an error response.",
+            lambda: reg.value("serve.errors"),
+        )
+        ex.register(
+            "repro_query_latency_seconds", "histogram",
+            "End-to-end query latency, log-spaced buckets (cache hits "
+            "included).",
+            lambda: reg.histogram("serve.query_seconds"),
+        )
+        for stat, family, help_text in (
+            ("hits", "repro_cache_hits_total",
+             "Cache hits by tier (artifact/result/plan)."),
+            ("misses", "repro_cache_misses_total",
+             "Cache misses by tier (artifact/result/plan)."),
+            ("evictions", "repro_cache_evictions_total",
+             "Cache evictions by tier (artifact/result/plan)."),
+        ):
+            ex.register(
+                family, "counter", help_text,
+                lambda stat=stat: [
+                    ({"cache": name}, float(st.get(stat, 0) or 0))
+                    for name, st in self._cache_stats().items()
+                ],
+            )
+        ex.register(
+            "repro_cache_bytes", "gauge",
+            "Resident bytes by cache tier (artifact/result).",
+            lambda: [
+                ({"cache": name}, float(st["bytes"]))
+                for name, st in self._cache_stats().items()
+                if st.get("bytes") is not None
+            ],
+        )
+        ex.register(
+            "repro_admission_inflight", "gauge",
+            "Queries currently executing under admission control.",
+            lambda: self.admission.stats()["running"],
+        )
+        ex.register(
+            "repro_admission_queue_depth", "gauge",
+            "Queries waiting in the admission queue.",
+            lambda: self.admission.stats()["waiting"],
+        )
+        for stat, family, help_text in (
+            ("admitted", "repro_admission_admitted_total",
+             "Queries admitted for execution."),
+            ("coalesced", "repro_admission_coalesced_total",
+             "Duplicate concurrent queries coalesced onto one execution."),
+            ("rejected", "repro_admission_rejected_total",
+             "Queries rejected because the admission queue was full."),
+        ):
+            ex.register(
+                family, "counter", help_text,
+                lambda stat=stat: self.admission.stats()[stat],
+            )
+        ex.register(
+            "repro_shared_pool_acquires_total", "counter",
+            "Worker-pool acquisitions on the shared-pool path.",
+            lambda: executor_mod.shared_pool_stats().get("acquires", 0),
+        )
+        ex.register(
+            "repro_shared_pool_hits_total", "counter",
+            "Worker-pool acquisitions served by a resident pool.",
+            lambda: executor_mod.shared_pool_stats().get("hits", 0),
+        )
+        ex.register(
+            "repro_shared_pool_resident", "gauge",
+            "Resident shared worker pools currently alive.",
+            lambda: len(executor_mod.shared_pool_stats().get("resident", [])),
+        )
+        ex.register(
+            "repro_planner_clock_error_ratio", "histogram",
+            "Absolute relative clock error of chosen plans by phase "
+            "(construction/join/total); 0.1 means 10% off.",
+            lambda: [
+                ({"phase": phase}, hist)
+                for phase, hist in self._planner_error_histograms().items()
+            ],
+        )
+        for key, family, help_text in (
+            ("daemons_spawned", "repro_cluster_daemons_spawned_total",
+             "Cluster daemons forked across served queries."),
+            ("daemons_lost", "repro_cluster_daemons_lost_total",
+             "Cluster daemons declared lost by heartbeat timeout."),
+            ("daemon_rejoins", "repro_cluster_daemon_rejoins_total",
+             "Replacement daemons that rejoined after a loss."),
+            ("blocks_refetched", "repro_cluster_blocks_refetched_total",
+             "Shuffle blocks re-fetched during cluster recovery."),
+        ):
+            ex.register(
+                family, "counter", help_text,
+                lambda key=key: self._cluster_stats()[key],
+            )
+        ex.register(
+            "repro_slo_degraded", "gauge",
+            "1 when the SLO watchdog's rolling window breaches a "
+            "threshold, else 0.",
+            lambda: 1.0 if self.slo is not None and self.slo.degraded else 0.0,
+        )
+        ex.register(
+            "repro_slo_alerts_total", "counter",
+            "Healthy-to-degraded SLO transitions since startup.",
+            lambda: self.slo.alerts if self.slo is not None else 0,
+        )
+        ex.register(
+            "repro_history_appended_total", "counter",
+            "RunReports appended to the run-history store.",
+            lambda: (
+                self.history.stats()["appended"]
+                if self.history is not None else 0
+            ),
+        )
+        ex.register(
+            "repro_history_bytes", "gauge",
+            "Size of the active run-history JSONL file.",
+            lambda: (
+                self.history.stats()["active_bytes"]
+                if self.history is not None else 0
+            ),
+        )
+        ex.register(
+            "repro_history_rotations_total", "counter",
+            "Run-history file rotations since startup.",
+            lambda: (
+                self.history.stats()["rotations"]
+                if self.history is not None else 0
+            ),
+        )
+        return ex
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -447,6 +728,16 @@ class JoinServer:
                 path=self._socket_path,
                 limit=MAX_LINE_BYTES,
             )
+        if self.config.metrics_port is not None:
+            self._metrics_endpoint = PrometheusEndpoint(
+                self.exporter.render,
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+            )
+            await self._metrics_endpoint.start()
+            self._log.info(
+                "metrics endpoint at %s", self._metrics_endpoint.address
+            )
         self._write_state_file()
         self._log.info("join server listening on %s", self.address)
 
@@ -463,6 +754,16 @@ class JoinServer:
         """Block until a ``shutdown`` request (or :meth:`stop`)."""
         await self._shutdown.wait()
         await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Trigger a clean shutdown from a signal handler (SIGTERM).
+
+        Must run on the event-loop thread (``loop.add_signal_handler``
+        callbacks do); :meth:`serve_until_shutdown` then drains the pool
+        and closes trace/history files so no partial JSONL lines remain.
+        """
+        if self._shutdown is not None:
+            self._shutdown.set()
 
     def run_forever(self) -> None:
         """Start and serve on a fresh event loop (the CLI entry point)."""
@@ -485,9 +786,16 @@ class JoinServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_endpoint is not None:
+            await self._metrics_endpoint.stop()
+            self._metrics_endpoint = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.history is not None:
+            # after the pool drain: every in-flight query has appended
+            # its report, so the file closes with no partial line
+            self.history.close()
         if self._shared_pools_enabled:
             executor_mod.disable_shared_pools()
             self._shared_pools_enabled = False
@@ -545,12 +853,19 @@ class JoinServer:
         try:
             return await handler(request)
         except (ProtocolError, QueryRejected, KeyError, ValueError) as exc:
-            self.registry.counter("serve.errors").inc()
+            self._count_failure(op)
             return error_response(exc)
         except Exception as exc:  # pragma: no cover - defensive catch-all
             self._log.warning("op %r failed: %s", op, exc)
-            self.registry.counter("serve.errors").inc()
+            self._count_failure(op)
             return error_response(exc)
+
+    def _count_failure(self, op: str) -> None:
+        self.registry.counter("serve.errors").inc()
+        if op == "query":
+            self.registry.counter("serve.queries_failed").inc()
+            if self.slo is not None:
+                self.slo.observe(0.0, failed=True)
 
     # ------------------------------------------------------------------
     # ops
@@ -749,21 +1064,37 @@ class JoinServer:
             "uptime_seconds": time.time() - self._started_at,
             "address": self.address,
             "backend": self.config.backend,
+            "queries_total": reg.value("serve.queries"),
+            "queries_failed": reg.value("serve.queries_failed"),
+            "degraded": bool(self.slo is not None and self.slo.degraded),
             "datasets": self.datasets.describe(),
+            "latency": reg.histogram("serve.query_seconds").snapshot(),
             "artifact_cache": self.artifacts.stats().to_dict(),
-            "result_cache": {
-                "entries": len(self._result_blocks),
-                "hits": self._results.hits,
-                "misses": self._results.misses,
-                "evictions": self._results.evictions,
-                "bytes": self._results.bytes_in_memory,
-                "limit_bytes": self.config.result_cache_bytes,
-            },
+            "result_cache": self._result_cache_stats(),
             "admission": self.admission.stats(),
             "shared_pools": executor_mod.shared_pool_stats(),
             "plan_cache": self.plans.stats(),
+            "planner_errors": {
+                phase: hist.snapshot()
+                for phase, hist in self._planner_error_histograms().items()
+            },
+            "cluster": self._cluster_stats(),
+            "slo": (
+                self.slo.status()
+                if self.slo is not None
+                else {"enabled": False, "degraded": False}
+            ),
+            "history": (
+                self.history.stats() if self.history is not None else None
+            ),
+            "metrics_endpoint": (
+                self._metrics_endpoint.address
+                if self._metrics_endpoint is not None
+                else None
+            ),
             "serving": {
                 "queries": reg.value("serve.queries"),
+                "queries_failed": reg.value("serve.queries_failed"),
                 "plans": reg.value("serve.plans"),
                 "plan_cache_hits": reg.value("serve.plan_cache_hits"),
                 "plan_total_abs_rel_error_mean": (
@@ -822,14 +1153,41 @@ class JoinServer:
         self.registry.counter(
             "serve.warm_builds" if warm else "serve.cold_builds"
         ).inc()
-        telemetry = Telemetry.create(enabled=spec.trace)
+        # history needs spans for the RunReport's stage rows, so an
+        # enabled history store implies tracing (results stay identical:
+        # telemetry never touches the join's data path)
+        telemetry = Telemetry.create(
+            enabled=spec.trace or self.history is not None
+        )
         run_cfg = spec.join_config(
             self.config,
             telemetry=telemetry,
             artifact_cache=self.artifacts,
             artifact_key=akey,
+            history=self.history,
         )
+        planner_meta = None
+        if planned is not None:
+            # publish the chosen plan + predicted clocks *before* the
+            # run: the pipeline appends the RunReport to the history
+            # store at run end, and replay_reports needs the prediction
+            # inside that stored report to recompute clock errors
+            prediction = planned["planned"].chosen.prediction
+            planner_meta = {
+                "chosen": {
+                    k: v
+                    for k, v in planned["planned"].chosen.row().items()
+                    if not k.startswith("predicted_")
+                },
+                "predicted": {
+                    "construction": prediction.construction_time,
+                    "join": prediction.join_time,
+                },
+                "plan_cache_hit": planned["cache_hit"],
+            }
+            telemetry.registry.set_meta("planner", planner_meta)
         result = distance_join(r.points, s.points, run_cfg)
+        self._accumulate_cluster_metrics(result.metrics)
         metrics_payload = _metrics_payload(result.metrics)
         self._result_cache_put(qkey, result, metrics_payload)
 
@@ -849,36 +1207,47 @@ class JoinServer:
                 e.phase: e.to_payload() for e in errors
             }
             for err in errors:
-                if err.phase == "total" and err.measured > 0:
+                if err.measured <= 0:
+                    continue
+                if err.phase == "total":
                     self.registry.histogram(
                         "serve.plan_total_abs_rel_error"
                     ).observe(abs(err.relative_error))
+                if err.phase in PLANNER_ERROR_PHASES:
+                    self.registry.histogram(
+                        f"serve.plan_abs_rel_error.{err.phase}",
+                        ERROR_RATIO_BUCKETS,
+                    ).observe(abs(err.relative_error))
             payload["planner"] = planner_payload
-            telemetry.registry.set_meta(
-                "planner",
-                {
-                    "chosen": {
-                        k: v
-                        for k, v in planned["planned"].chosen.row().items()
-                        if not k.startswith("predicted_")
-                    },
-                    "predicted": {
-                        "construction": prediction.construction_time,
-                        "join": prediction.join_time,
-                    },
-                    "errors": planner_payload["errors"],
-                    "plan_cache_hit": planned["cache_hit"],
-                },
-            )
+            planner_meta["errors"] = planner_payload["errors"]
         if spec.trace:
             payload["spans"] = len(telemetry.tracer)
+        if spec.return_spans:
+            payload["trace_spans"] = [
+                span.to_dict() for span in telemetry.tracer.spans()
+            ]
         if spec.report:
             payload["report"] = telemetry.report().render()
         return self._finish(payload, started)
 
+    def _accumulate_cluster_metrics(self, metrics) -> None:
+        """Fold one run's daemon-health extras into server counters."""
+        extra = getattr(metrics, "extra", None) or {}
+        for key in (
+            "cluster_daemons_spawned",
+            "cluster_daemons_lost",
+            "cluster_daemon_rejoins",
+            "cluster_blocks_refetched",
+        ):
+            value = extra.get(key)
+            if value:
+                self.registry.counter(f"serve.{key}").inc(int(value))
+
     def _finish(self, payload: dict, started: float) -> dict:
         latency = time.perf_counter() - started
         self.registry.histogram("serve.query_seconds").observe(latency)
+        if self.slo is not None:
+            self.slo.observe(latency)
         payload["latency_seconds"] = latency
         payload["artifact_cache"] = self.artifacts.stats().to_dict()
         return payload

@@ -353,8 +353,14 @@ class TestServeEndToEnd:
                        "--eps", "0.02"])
             assert rc == 0
             assert "[result cache]" in capsys.readouterr().out
-            rc = main(["query", "--socket", sock, "--stats"])
+            rc = main(["query", "--socket", sock, "--stats-json"])
             assert rc == 0
             assert '"result_cache_hits": 1' in capsys.readouterr().out
+            # --stats renders the sectioned dashboard instead of raw JSON
+            rc = main(["query", "--socket", sock, "--stats"])
+            assert rc == 0
+            rendered = capsys.readouterr().out
+            assert "queries" in rendered and "latency" in rendered
+            assert '"result_cache_hits"' not in rendered
         finally:
             handle.stop()

@@ -33,17 +33,18 @@ SRC_ROOT = os.path.join(
 #: layer prefix -> module prefixes it must never depend on
 FORBIDDEN = {
     "repro.engine": ("repro.joins", "repro.cli", "repro.bench",
-                     "repro.serving", "repro.planner"),
+                     "repro.serving", "repro.planner", "repro.obs"),
     "repro.joins": ("repro.cli", "repro.bench", "repro.serving",
-                    "repro.planner"),
+                    "repro.planner", "repro.obs"),
     # the serving layer sits on top of the drivers but below the CLI:
     # it composes joins + engine, and nothing below it may know it exists
     "repro.serving": ("repro.cli", "repro.bench"),
     # the planner prices what core/engine/joins build; it sits above all
     # three and below serving/cli, so nothing it prices imports it back
-    "repro.planner": ("repro.cli", "repro.bench", "repro.serving"),
+    "repro.planner": ("repro.cli", "repro.bench", "repro.serving",
+                      "repro.obs"),
     "repro.core": ("repro.cli", "repro.bench", "repro.serving",
-                   "repro.planner"),
+                   "repro.planner", "repro.obs"),
     # telemetry is the engine's bottom layer: everything above publishes
     # into it, so it must not import any engine sibling (or anything
     # higher) -- only the stdlib and numpy-free leaves
@@ -61,6 +62,30 @@ FORBIDDEN = {
         "repro.joins",
         "repro.cli",
         "repro.bench",
+        "repro.obs",
+    ),
+    # the continuous-observability layer sits directly above
+    # engine.telemetry and below serving/cli: it may import telemetry
+    # (and nothing else from repro), the pipeline reaches it duck-typed
+    # through ExecutionSettings.history, and repro top takes an opaque
+    # poll() callable instead of importing the serving client
+    "repro.obs": (
+        "repro.joins",
+        "repro.cli",
+        "repro.bench",
+        "repro.serving",
+        "repro.planner",
+        "repro.core",
+        "repro.engine.blockstore",
+        "repro.engine.cluster",
+        "repro.engine.executor",
+        "repro.engine.faults",
+        "repro.engine.kernels",
+        "repro.engine.lpt",
+        "repro.engine.metrics",
+        "repro.engine.partitioner",
+        "repro.engine.rdd",
+        "repro.engine.shuffle",
     ),
 }
 
@@ -173,6 +198,31 @@ def test_drivers_build_plans_without_importing_the_planner():
             f"{driver} should build its stages from a physical plan"
         )
         assert not any(in_layer(i, "repro.planner") for i in imports)
+
+
+def test_obs_sits_between_telemetry_and_serving():
+    """repro.obs builds on telemetry only; serving and the CLI consume it."""
+    modules = dict(MODULES)
+    names = set(modules)
+    for expected in ("repro.obs", "repro.obs.history", "repro.obs.exporter",
+                     "repro.obs.slo", "repro.obs.top"):
+        assert expected in names
+    # obs imports nothing from repro except engine.telemetry
+    for module, path in MODULES:
+        if not in_layer(module, "repro.obs"):
+            continue
+        for imported in imported_modules(module, path):
+            if imported.startswith("repro."):
+                assert (
+                    in_layer(imported, "repro.engine.telemetry")
+                    or in_layer(imported, "repro.obs")
+                ), f"{module} imports {imported}"
+    # serving and the CLI compose it from above
+    for consumer in ("repro.serving.server", "repro.cli"):
+        imports = imported_modules(consumer, modules[consumer])
+        assert any(in_layer(i, "repro.obs") for i in imports), (
+            f"{consumer} should compose repro.obs"
+        )
 
 
 def test_telemetry_sits_below_executor_and_pipeline():

@@ -500,11 +500,20 @@ class TestProtocolValidation:
         with pytest.raises(ValueError, match="mutually exclusive"):
             ServerConfig(socket_path="/tmp/x.sock", port=1234)
         with pytest.raises(ValueError, match="serving backend"):
-            ServerConfig(backend="cluster")
+            ServerConfig(backend="ray")
+        # the cluster backend is servable since the observability PR
+        # (daemon health feeds the stats op and the exporter)
+        assert ServerConfig(backend="cluster").backend == "cluster"
         with pytest.raises(ValueError, match="port"):
             ServerConfig(port=99999)
         with pytest.raises(ValueError, match="max_inflight"):
             ServerConfig(max_inflight=0)
+        with pytest.raises(ValueError, match="metrics_port"):
+            ServerConfig(metrics_port=70000)
+        with pytest.raises(ValueError, match="history_retain_files"):
+            ServerConfig(history_retain_files=0)
+        with pytest.raises(ValueError, match="p95"):
+            ServerConfig(slo_p95_seconds=-1.0)
 
 
 @pytest.mark.serving
